@@ -1,0 +1,27 @@
+"""Shared benchmark fixtures.
+
+Every experiment benchmark runs the corresponding experiment module at a
+reduced scale (so `pytest benchmarks/ --benchmark-only` completes in
+minutes) and prints the regenerated tables; EXPERIMENTS.md records the
+full-scale (`--scale 1.0`) outputs of `python -m repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def exp_cfg() -> ExperimentConfig:
+    """Benchmark-sized experiment configuration."""
+    return ExperimentConfig(seed=42, scale=0.25)
+
+
+def run_and_print(benchmark, runner, cfg) -> None:
+    """Time one full experiment run and print its tables."""
+    tables = benchmark.pedantic(runner, args=(cfg,), rounds=1, iterations=1)
+    for table in tables:
+        print()
+        print(table.to_text())

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E10: trigger-armed automated reaction (Sec. 4.4)."""
+
+from repro.experiments import e10_triggers
+
+from conftest import run_and_print
+
+
+def test_e10(benchmark, exp_cfg):
+    """E10: trigger-armed automated reaction (Sec. 4.4)"""
+    run_and_print(benchmark, e10_triggers.run, exp_cfg)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E11: network debugging accuracy (Sec. 4.4)."""
+
+from repro.experiments import e11_debugging
+
+from conftest import run_and_print
+
+
+def test_e11(benchmark, exp_cfg):
+    """E11: network debugging accuracy (Sec. 4.4)"""
+    run_and_print(benchmark, e11_debugging.run, exp_cfg)

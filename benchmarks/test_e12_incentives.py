@@ -1,0 +1,10 @@
+"""Benchmark regenerating E12: ISP incentives — bandwidth freed per tier (Sec. 4.6)."""
+
+from repro.experiments import e12_incentives
+
+from conftest import run_and_print
+
+
+def test_e12(benchmark, exp_cfg):
+    """E12: ISP incentives — bandwidth freed per tier (Sec. 4.6)"""
+    run_and_print(benchmark, e12_incentives.run, exp_cfg)

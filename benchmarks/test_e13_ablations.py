@@ -1,0 +1,10 @@
+"""Benchmark regenerating E13: design-choice ablations (stage order, redirect policy, stateful filtering)."""
+
+from repro.experiments import e13_ablations
+
+from conftest import run_and_print
+
+
+def test_e13(benchmark, exp_cfg):
+    """E13: design-choice ablations (stage order, redirect policy, stateful filtering)"""
+    run_and_print(benchmark, e13_ablations.run, exp_cfg)

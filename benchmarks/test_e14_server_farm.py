@@ -1,0 +1,10 @@
+"""Benchmark regenerating E14: the server-farm failure mode (Sec. 3.1)."""
+
+from repro.experiments import e14_server_farm
+
+from conftest import run_and_print
+
+
+def test_e14(benchmark, exp_cfg):
+    """E14: server CPU exhausted before the farm link congests (Sec. 3.1)"""
+    run_and_print(benchmark, e14_server_farm.run, exp_cfg)

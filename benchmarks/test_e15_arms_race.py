@@ -1,0 +1,10 @@
+"""Benchmark regenerating E15: the arms race (Secs. 1, 4.2)."""
+
+from repro.experiments import e15_arms_race
+
+from conftest import run_and_print
+
+
+def test_e15(benchmark, exp_cfg):
+    """E15: vector-switching attacker vs. reactive TCS defender"""
+    run_and_print(benchmark, e15_arms_race.run, exp_cfg)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E1: reflector-attack anatomy and amplification (Fig. 1, Sec. 2.2)."""
+
+from repro.experiments import e1_reflector_anatomy
+
+from conftest import run_and_print
+
+
+def test_e1(benchmark, exp_cfg):
+    """E1: reflector-attack anatomy and amplification (Fig. 1, Sec. 2.2)"""
+    run_and_print(benchmark, e1_reflector_anatomy.run, exp_cfg)

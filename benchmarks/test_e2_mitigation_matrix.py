@@ -1,0 +1,10 @@
+"""Benchmark regenerating E2: mitigation x attack effectiveness matrix (Sec. 3, 4.3)."""
+
+from repro.experiments import e2_mitigation_matrix
+
+from conftest import run_and_print
+
+
+def test_e2(benchmark, exp_cfg):
+    """E2: mitigation x attack effectiveness matrix (Sec. 3, 4.3)"""
+    run_and_print(benchmark, e2_mitigation_matrix.run, exp_cfg)

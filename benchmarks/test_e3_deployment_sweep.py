@@ -1,0 +1,10 @@
+"""Benchmark regenerating E3: filtering effectiveness vs deployment fraction (Sec. 3.2)."""
+
+from repro.experiments import e3_deployment_sweep
+
+from conftest import run_and_print
+
+
+def test_e3(benchmark, exp_cfg):
+    """E3: filtering effectiveness vs deployment fraction (Sec. 3.2)"""
+    run_and_print(benchmark, e3_deployment_sweep.run, exp_cfg)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E4: TCS defense sweep and filtering placement (Sec. 4.3, 6)."""
+
+from repro.experiments import e4_tcs_defense
+
+from conftest import run_and_print
+
+
+def test_e4(benchmark, exp_cfg):
+    """E4: TCS defense sweep and filtering placement (Sec. 4.3, 6)"""
+    run_and_print(benchmark, e4_tcs_defense.run, exp_cfg)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E5: misuse-prevention table (Sec. 4.5)."""
+
+from repro.experiments import e5_safety
+
+from conftest import run_and_print
+
+
+def test_e5(benchmark, exp_cfg):
+    """E5: misuse-prevention table (Sec. 4.5)"""
+    run_and_print(benchmark, e5_safety.run, exp_cfg)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E6: rules/cost scalability (Sec. 5.3)."""
+
+from repro.experiments import e6_scalability
+
+from conftest import run_and_print
+
+
+def test_e6(benchmark, exp_cfg):
+    """E6: rules/cost scalability (Sec. 5.3)"""
+    run_and_print(benchmark, e6_scalability.run, exp_cfg)

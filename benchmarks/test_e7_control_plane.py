@@ -1,0 +1,10 @@
+"""Benchmark regenerating E7: control-plane workflows and TCSP resilience (Sec. 5.1)."""
+
+from repro.experiments import e7_control_plane
+
+from conftest import run_and_print
+
+
+def test_e7(benchmark, exp_cfg):
+    """E7: control-plane workflows and TCSP resilience (Sec. 5.1)"""
+    run_and_print(benchmark, e7_control_plane.run, exp_cfg)

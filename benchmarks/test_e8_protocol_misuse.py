@@ -1,0 +1,10 @@
+"""Benchmark regenerating E8: protocol-misuse teardown defense (Sec. 4.3)."""
+
+from repro.experiments import e8_protocol_misuse
+
+from conftest import run_and_print
+
+
+def test_e8(benchmark, exp_cfg):
+    """E8: protocol-misuse teardown defense (Sec. 4.3)"""
+    run_and_print(benchmark, e8_protocol_misuse.run, exp_cfg)

@@ -1,0 +1,10 @@
+"""Benchmark regenerating E9: traceback identification and SPIE backlog (Sec. 3.1, 4.4)."""
+
+from repro.experiments import e9_traceback
+
+from conftest import run_and_print
+
+
+def test_e9(benchmark, exp_cfg):
+    """E9: traceback identification and SPIE backlog (Sec. 3.1, 4.4)"""
+    run_and_print(benchmark, e9_traceback.run, exp_cfg)

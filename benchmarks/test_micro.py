@@ -1,0 +1,137 @@
+"""Micro-benchmarks of the performance-critical primitives.
+
+These are the hot paths identified by profiling (per the HPC guides:
+measure, then optimise): the ownership/routing trie lookup, the adaptive
+device's redirect decision and two-stage pipeline, the event loop, the
+packet-level forwarding path, and the vectorised fluid evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ComponentGraph, NetworkUser, OwnershipRegistry
+from repro.core.components import HeaderFilter, HeaderMatch
+from repro.experiments.e6_scalability import build_device
+from repro.net import (
+    Flow,
+    FlowSet,
+    FluidNetwork,
+    IPv4Address,
+    Network,
+    Packet,
+    Prefix,
+    PrefixTable,
+    Protocol,
+    Simulator,
+    TopologyBuilder,
+)
+
+
+@pytest.fixture(scope="module")
+def loaded_trie() -> PrefixTable:
+    table = PrefixTable()
+    rng = np.random.default_rng(1)
+    for _ in range(10_000):
+        value = int(rng.integers(0, 2**32))
+        length = int(rng.integers(8, 25))
+        table.insert(Prefix.make(value, length), value)
+    return table
+
+
+def test_prefix_trie_lookup(benchmark, loaded_trie):
+    """Longest-prefix match against 10k routes (per-packet cost)."""
+    addrs = [int(x) for x in np.random.default_rng(2).integers(0, 2**32, 256)]
+
+    def lookups():
+        for a in addrs:
+            loaded_trie.lookup(a)
+
+    benchmark(lookups)
+
+
+def test_device_redirect_decision(benchmark):
+    """The per-packet `wants` check with 1000 subscribers installed."""
+    device, users = build_device(1000)
+    owned = Packet.udp(IPv4Address.parse("172.16.0.1"),
+                       IPv4Address(users[500].prefixes[0].base + 3))
+    unowned = Packet.udp(IPv4Address.parse("172.16.0.1"),
+                         IPv4Address.parse("172.16.9.9"))
+
+    def check():
+        device.wants(owned)
+        device.wants(unowned)
+
+    benchmark(check)
+
+
+def test_device_two_stage_pipeline(benchmark):
+    """Full owned-packet processing through a 4-component graph."""
+    registry = OwnershipRegistry()
+    user = NetworkUser("u", prefixes=[Prefix.parse("10.1.0.0/16")])
+    registry.register(user)
+    from repro.core import AdaptiveDevice, DeviceContext
+    from repro.net import ASRole
+
+    device = AdaptiveDevice(
+        DeviceContext(asn=1, role=ASRole.STUB,
+                      local_prefix=Prefix.parse("10.9.0.0/16")), registry)
+    graph = ComponentGraph("bench")
+    graph.chain(*[HeaderFilter(f"r{i}", HeaderMatch(proto=Protocol.TCP, dport=7))
+                  for i in range(4)])
+    device.install(user, dst_graph=graph)
+    pkt = Packet.udp(IPv4Address.parse("10.8.0.1"), IPv4Address.parse("10.1.0.1"))
+    benchmark(device.process, pkt, 0.0, None)
+
+
+def test_simulator_event_throughput(benchmark):
+    """Schedule+dispatch cost of 10k no-op events."""
+
+    def run_events():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(i * 1e-6, int)
+        sim.run()
+
+    benchmark(run_events)
+
+
+def test_packet_forwarding_path(benchmark):
+    """End-to-end delivery of 500 packets over a 5-AS path."""
+
+    def run_net():
+        net = Network(TopologyBuilder.line(5))
+        a = net.add_host(0)
+        b = net.add_host(4)
+        for i in range(500):
+            net.sim.schedule_at(i * 1e-4, a.send,
+                                Packet.udp(a.address, b.address))
+        net.run()
+        assert b.received_packets > 0
+
+    benchmark(run_net)
+
+
+def test_fluid_evaluation(benchmark):
+    """Vectorised fluid evaluation: 500 flows on a 300-AS power law graph."""
+    topo = TopologyBuilder.powerlaw(n=300, m=2, seed=3)
+    fluid = FluidNetwork(topo)
+    rng = np.random.default_rng(4)
+    stubs = topo.stub_ases
+    victim = stubs[0]
+    flows = FlowSet([
+        Flow(int(stubs[int(rng.integers(1, len(stubs)))]), victim, 1e6,
+             kind="attack")
+        for _ in range(500)
+    ])
+    fluid.evaluate(flows)  # warm the BFS cache like a sweep would
+    benchmark(fluid.evaluate, flows)
+
+
+def test_routing_table_construction(benchmark):
+    """All-pairs next-hop computation for a 100-AS topology."""
+    topo = TopologyBuilder.powerlaw(n=100, m=2, seed=5)
+    from repro.net import build_routing
+
+    benchmark(build_routing, topo)

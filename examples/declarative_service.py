@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Declarative service deployment: say *what*, let the TCSP compose *how*.
+
+The paper's Fig. 5 has the TCSP "map the request to service components".
+This example uses the composition layer (`repro.core.compose`, modelled on
+the cited Chameleon work): the customer writes a declarative rule list and
+deploys it with one call; the compiler turns it into vetted component
+graphs specialised per adaptive device.
+
+Run:  python examples/declarative_service.py
+"""
+
+from repro.core import (
+    DeploymentScope,
+    NumberAuthority,
+    RuleSpec,
+    ServiceSpec,
+    Tcsp,
+    TrafficControlService,
+    spec_factory,
+)
+from repro.net import ICMPType, Network, Packet, TopologyBuilder
+
+
+def main() -> None:
+    network = Network(TopologyBuilder.hierarchical(2, 2, 5, seed=17))
+    stubs = network.topology.stub_ases
+    server = network.add_host(stubs[0])
+
+    # --- control plane setup
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, network)
+    tcsp.contract_isp("world-isp", network.topology.as_numbers)
+    prefix = network.topology.prefix_of(server.asn)
+    authority.record_allocation(prefix, "shop-co")
+    user, cert = tcsp.register_user("shop-co", [prefix])
+    service = TrafficControlService(tcsp, user, cert)
+
+    # --- the customer's declarative policy
+    policy = ServiceSpec("shop-policy", (
+        RuleSpec(action="drop", proto="tcp", tcp_flags="rst",
+                 label="no-forged-resets"),
+        RuleSpec(action="drop", proto="icmp", icmp_type="host-unreachable",
+                 label="no-forged-unreachables"),
+        RuleSpec(action="drop", proto="udp", dport=19,
+                 label="no-chargen"),
+        RuleSpec(action="rate-limit", rate_bps=5e6, label="ceiling"),
+        RuleSpec(action="log", label="audit"),
+    ))
+    result = service.deploy(DeploymentScope.everywhere(),
+                            dst_graph_factory=spec_factory(policy))
+    print(f"policy '{policy.name}' ({len(policy.rules)} rules) compiled and "
+          f"deployed to {sum(len(v) for v in result.values())} devices")
+
+    # --- traffic against the policy
+    client = network.add_host(stubs[1])
+    attacker = network.add_host(stubs[2])
+    client.send(Packet.udp(client.address, server.address, dport=80,
+                           kind="legit"))
+    attacker.send(Packet.tcp_rst(attacker.address, server.address,
+                                 kind="attack-rst"))
+    attacker.send(Packet.icmp(attacker.address, server.address,
+                              ICMPType.HOST_UNREACHABLE, kind="attack-icmp"))
+    attacker.send(Packet.udp(attacker.address, server.address, dport=19,
+                             kind="attack-chargen"))
+    network.run()
+
+    print(f"server received: {dict(server.received_by_kind)}")
+    logs = service.read_logs()
+    print(f"audit log entries collected via the TCSP: {len(logs)}")
+    assert server.received_by_kind == {"legit": 1}
+    print("every attack class was dropped in-network; only the legit "
+          "request arrived.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Worm outbreak -> growing botnet -> automated TCS reaction.
+
+The paper motivates the service with worm-built attack networks ("a huge
+amplifying network of several ten thousand hosts in a short time",
+Sec. 2.1) and proposes trigger-based automated reaction (Sec. 4.4).  This
+example plays a Slammer-parameter epidemic, samples the botnet at three
+stages of the outbreak, attacks a victim with each, and shows the victim's
+pre-armed triggers activating rate limits automatically.
+
+Run:  python examples/worm_outbreak_response.py
+"""
+
+from repro.attack import DirectFlood, EpidemicModel, WormOutbreak
+from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core.apps import AutoReactionApp
+from repro.net import Network, Protocol, TopologyBuilder
+
+
+def attack_with_botnet(topology_seed: int, agent_asns: list[int],
+                       defended: bool):
+    network = Network(TopologyBuilder.hierarchical(2, 3, 6, seed=topology_seed))
+    stubs = network.topology.stub_ases
+    victim = network.add_host(stubs[0])
+    agents = [network.add_host(asn) for asn in agent_asns if asn in stubs]
+
+    app = None
+    if defended:
+        authority = NumberAuthority()
+        tcsp = Tcsp("TCSP", authority, network)
+        tcsp.contract_isp("world-isp", network.topology.as_numbers)
+        prefix = network.topology.prefix_of(victim.asn)
+        authority.record_allocation(prefix, "victim-co")
+        user, cert = tcsp.register_user("victim-co", [prefix])
+        service = TrafficControlService(tcsp, user, cert)
+        app = AutoReactionApp(
+            service, threshold_pps=200.0, limit_bps=2e5, window=0.2,
+            predicate=lambda p: p.proto is Protocol.UDP and p.dport != 80)
+        app.deploy(DeploymentScope.everywhere())
+
+    if agents:
+        DirectFlood(network, agents, victim, rate_pps=300.0, duration=0.5,
+                    spoof="none", seed=3).launch()
+    network.run(until=1.0)
+    return victim, app, len(agents)
+
+
+def main() -> None:
+    # Slammer-like epidemic, scaled onto our topology's stub ASes
+    model = EpidemicModel(n_vulnerable=75_000, scan_rate=4_000.0)
+    topo = TopologyBuilder.hierarchical(2, 3, 6, seed=9)
+    outbreak = WormOutbreak(topo, model, n_scaled=60, seed=9)
+
+    print(f"{'outbreak time':>14} {'botnet size':>12} "
+          f"{'attack pkts (bare)':>19} {'attack pkts (TCS)':>18} {'triggers':>9}")
+    for label, t in (("t=60s", 60.0), ("t=150s", 150.0), ("t=300s", 300.0)):
+        agent_asns = outbreak.agent_asns_at(t)
+        victim_bare, _, n = attack_with_botnet(9, agent_asns, defended=False)
+        victim_tcs, app, _ = attack_with_botnet(9, agent_asns, defended=True)
+        print(f"{label:>14} {n:>12} "
+              f"{victim_bare.received_by_kind.get('attack', 0):>19} "
+              f"{victim_tcs.received_by_kind.get('attack', 0):>18} "
+              f"{app.fired if app else 0:>9}")
+    print()
+    print("The epidemic doubles every ~10s; once the botnet rate crosses the")
+    print("pre-armed trigger threshold, every device on the path activates its")
+    print("rate limit without any human in the loop (paper Sec. 4.4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — reproduction of "Adaptive Distributed Traffic Control Service for
+DDoS Attack Mitigation" (Duebendorfer, Bossardt, Plattner; IPPS 2005).
+
+Subpackages:
+
+* :mod:`repro.net`        — AS-level Internet substrate (packets, topology,
+  routing, event simulation, fluid flow model).
+* :mod:`repro.attack`     — DDoS attack framework (Fig. 1 roles, floods,
+  reflector attacks, protocol misuse, worm recruitment).
+* :mod:`repro.mitigation` — the Sec. 3 baselines (ingress filtering,
+  pushback, traceback, secure overlays, i3, last-hop filtering).
+* :mod:`repro.core`       — the paper's contribution: the distributed
+  Traffic Control Service (ownership, TCSP, adaptive devices, safety).
+* :mod:`repro.experiments`— the harness regenerating every claim table.
+"""
+
+__version__ = "1.0.0"

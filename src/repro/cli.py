@@ -1,0 +1,167 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro topology --kind powerlaw --size 100
+    python -m repro attack --kind reflector --agents 8 --rate 300
+    python -m repro defend --attack reflector --defense tcs
+    python -m repro experiments E2 E4 --scale 0.5
+
+The ``experiments`` subcommand forwards to :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.util.units import fmt_rate
+
+__all__ = ["main", "build_parser"]
+
+TOPOLOGY_KINDS = ("hierarchical", "powerlaw", "internet", "line", "star")
+DEFENSES = ("none", "ingress", "rbf", "pushback", "traceback-filter",
+            "sos", "i3", "lasthop", "tcs")
+
+
+def _build_topology(kind: str, size: int, seed: int):
+    from repro.net import TopologyBuilder
+
+    if kind == "hierarchical":
+        stubs = max(1, size // 6)
+        return TopologyBuilder.hierarchical(2, 2, max(1, stubs // 4) + 1,
+                                            seed=seed)
+    if kind == "powerlaw":
+        return TopologyBuilder.powerlaw(n=size, seed=seed)
+    if kind == "internet":
+        return TopologyBuilder.internet_like(n=size, seed=seed)
+    if kind == "line":
+        return TopologyBuilder.line(size)
+    if kind == "star":
+        return TopologyBuilder.star(max(1, size - 1))
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    topo = _build_topology(args.kind, args.size, args.seed)
+    print(f"topology: {args.kind}, {len(topo)} ASes, "
+          f"{topo.graph.number_of_edges()} links")
+    print(f"  core   : {len(topo.core_ases)}")
+    print(f"  transit: {len(topo.transit_ases)}")
+    print(f"  stub   : {len(topo.stub_ases)}")
+    degrees = sorted((topo.degree(a) for a in topo.as_numbers), reverse=True)
+    print(f"  degree : max={degrees[0]}, median={degrees[len(degrees) // 2]}, "
+          f"min={degrees[-1]}")
+    if args.verbose:
+        for asn in topo.as_numbers:
+            info = topo.ases[asn]
+            print(f"  AS{asn:<5} {info.role.value:<8} {info.prefix} "
+                  f"deg={topo.degree(asn)}")
+    return 0
+
+
+def _run_scenario(attack: str, agents: int, reflectors: int, rate: float,
+                  duration: float, seed: int, defense: str = "none"):
+    from repro.experiments.common import ExperimentConfig
+    from repro.experiments.e2_mitigation_matrix import run_cell
+
+    cfg = ExperimentConfig(seed=seed, scale=max(0.125, agents / 8))
+    return run_cell(attack, defense, cfg)
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    cell = _run_scenario(args.kind, args.agents, args.reflectors, args.rate,
+                         args.duration, args.seed)
+    print(f"attack: {args.kind} ({args.agents} agents)")
+    print(f"  attack packets delivered to victim: {cell.attack_pkts}")
+    print(f"  legitimate goodput                : {cell.legit_goodput:.0%}")
+    return 0
+
+
+def cmd_defend(args: argparse.Namespace) -> int:
+    base = _run_scenario(args.attack, args.agents, args.reflectors,
+                         args.rate, args.duration, args.seed, "none")
+    cell = _run_scenario(args.attack, args.agents, args.reflectors,
+                         args.rate, args.duration, args.seed, args.defense)
+    denom = max(1, base.attack_pkts)
+    print(f"attack: {args.attack}   defense: {args.defense}")
+    print(f"  attack at victim  : {base.attack_pkts} -> {cell.attack_pkts} "
+          f"({cell.attack_pkts / denom:.0%} of undefended)")
+    print(f"  legitimate goodput: {base.legit_goodput:.0%} -> "
+          f"{cell.legit_goodput:.0%}")
+    print(f"  collateral damage : {cell.collateral:.0%}")
+    if cell.identified_true or cell.identified_false:
+        print(f"  identified sources: {cell.identified_true} real, "
+              f"{cell.identified_false} innocent")
+    if cell.notes:
+        print(f"  note: {cell.notes}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    forwarded = list(args.ids)
+    forwarded += ["--scale", str(args.scale), "--seed", str(args.seed)]
+    if args.markdown:
+        forwarded.append("--markdown")
+    return experiments_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Adaptive Distributed Traffic Control Service — "
+                    "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_topo = sub.add_parser("topology", help="generate and describe an AS topology")
+    p_topo.add_argument("--kind", choices=TOPOLOGY_KINDS, default="hierarchical")
+    p_topo.add_argument("--size", type=int, default=60)
+    p_topo.add_argument("--seed", type=int, default=42)
+    p_topo.add_argument("--verbose", action="store_true")
+    p_topo.set_defaults(fn=cmd_topology)
+
+    p_attack = sub.add_parser("attack", help="run an undefended DDoS scenario")
+    p_attack.add_argument("--kind", choices=("direct-spoofed",
+                                             "direct-unspoofed", "reflector"),
+                          default="reflector")
+    p_attack.add_argument("--agents", type=int, default=8)
+    p_attack.add_argument("--reflectors", type=int, default=6)
+    p_attack.add_argument("--rate", type=float, default=300.0)
+    p_attack.add_argument("--duration", type=float, default=0.5)
+    p_attack.add_argument("--seed", type=int, default=42)
+    p_attack.set_defaults(fn=cmd_attack)
+
+    p_defend = sub.add_parser("defend", help="run an attack against a defense")
+    p_defend.add_argument("--attack", choices=("direct-spoofed",
+                                               "direct-unspoofed", "reflector"),
+                          default="reflector")
+    p_defend.add_argument("--defense", choices=DEFENSES, default="tcs")
+    p_defend.add_argument("--agents", type=int, default=8)
+    p_defend.add_argument("--reflectors", type=int, default=6)
+    p_defend.add_argument("--rate", type=float, default=300.0)
+    p_defend.add_argument("--duration", type=float, default=0.5)
+    p_defend.add_argument("--seed", type=int, default=42)
+    p_defend.set_defaults(fn=cmd_defend)
+
+    p_exp = sub.add_parser("experiments", help="run the claim-reproduction suite")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_exp.add_argument("--scale", type=float, default=1.0)
+    p_exp.add_argument("--seed", type=int, default=42)
+    p_exp.add_argument("--markdown", action="store_true")
+    p_exp.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Distributed traffic statistics (paper Secs. 1, 4.4 and 4.6).
+
+"new ways of collecting traffic statistics" / "customers ... that want to
+gather distributed traffic statistics for their sites" — the owner deploys
+statistics collectors across the network and aggregates them into a
+traffic matrix: where does my traffic come from, by which protocol, at
+which rates, observed *inside* the network rather than only at the uplink.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.components import Capabilities, Component, ComponentContext, Verdict
+from repro.core.device import DeviceContext
+from repro.core.deployment import DeploymentScope
+from repro.core.graph import ComponentGraph
+from repro.core.service import TrafficControlService
+from repro.net.packet import Packet
+
+__all__ = ["TrafficMatrixCollector", "DistributedStatisticsApp", "TrafficReport"]
+
+
+class TrafficMatrixCollector(Component):
+    """Per-device collector of (source AS x protocol) packet/byte counts."""
+
+    capabilities = Capabilities(extra_traffic_bps=2_000.0)
+
+    def __init__(self, name: str = "traffic-matrix", resolver=None) -> None:
+        super().__init__(name)
+        #: maps an address value to an AS number (injected at deploy time)
+        self.resolver = resolver
+        self.packets: Counter[tuple[int, str]] = Counter()  # (src asn, proto)
+        self.bytes: Counter[tuple[int, str]] = Counter()
+        self.first_seen: Optional[float] = None
+        self.last_seen: Optional[float] = None
+
+    def process(self, packet: Packet, ctx: ComponentContext) -> Verdict:
+        src_asn = self.resolver(int(packet.src)) if self.resolver else -1
+        key = (src_asn if src_asn is not None else -1, packet.proto.name)
+        self.packets[key] += 1
+        self.bytes[key] += packet.size
+        if self.first_seen is None:
+            self.first_seen = ctx.now
+        self.last_seen = ctx.now
+        return Verdict.PASS
+
+
+@dataclass
+class TrafficReport:
+    """Aggregated view over all devices."""
+
+    packets_by_src_asn: dict[int, int] = field(default_factory=dict)
+    bytes_by_src_asn: dict[int, int] = field(default_factory=dict)
+    packets_by_proto: dict[str, int] = field(default_factory=dict)
+    observation_points: int = 0
+    duration: float = 0.0
+
+    def top_sources(self, n: int = 5) -> list[tuple[int, int]]:
+        """(src asn, bytes) of the heaviest sources."""
+        return sorted(self.bytes_by_src_asn.items(),
+                      key=lambda kv: -kv[1])[:n]
+
+    def rate_bps(self, src_asn: Optional[int] = None) -> float:
+        if self.duration <= 0:
+            return 0.0
+        if src_asn is None:
+            total = sum(self.bytes_by_src_asn.values())
+        else:
+            total = self.bytes_by_src_asn.get(src_asn, 0)
+        return total * 8 / self.duration
+
+
+class DistributedStatisticsApp:
+    """Deploy traffic-matrix collectors and aggregate their counters."""
+
+    def __init__(self, service: TrafficControlService) -> None:
+        self.service = service
+        self.collectors: dict[int, TrafficMatrixCollector] = {}
+
+    def graph_factory(self, device_ctx: DeviceContext) -> ComponentGraph:
+        topology = self.service.tcsp.network.topology
+        collector = TrafficMatrixCollector(resolver=topology.as_of)
+        self.collectors[device_ctx.asn] = collector
+        graph = ComponentGraph(f"stats:{self.service.user.user_id}")
+        graph.add(collector)
+        return graph
+
+    def deploy(self, scope: Optional[DeploymentScope] = None) -> dict[str, list[int]]:
+        scope = scope or DeploymentScope.everywhere()
+        return self.service.deploy(scope, dst_graph_factory=self.graph_factory)
+
+    # -------------------------------------------------------------- reporting
+    def report(self, at_asn: Optional[int] = None) -> TrafficReport:
+        """Aggregate (one device's or all devices') counters.
+
+        Note that aggregating over *all* devices counts a packet once per
+        observation point; for volume accounting use ``at_asn`` (e.g. the
+        owner's own AS) — for path-coverage analyses use the global view.
+        """
+        report = TrafficReport()
+        selected = ([self.collectors[at_asn]] if at_asn is not None
+                    else list(self.collectors.values()))
+        first, last = None, None
+        for collector in selected:
+            if collector.first_seen is None:
+                continue
+            report.observation_points += 1
+            first = (collector.first_seen if first is None
+                     else min(first, collector.first_seen))
+            last = (collector.last_seen if last is None
+                    else max(last, collector.last_seen))
+            for (asn, proto), count in collector.packets.items():
+                report.packets_by_src_asn[asn] = (
+                    report.packets_by_src_asn.get(asn, 0) + count)
+                report.packets_by_proto[proto] = (
+                    report.packets_by_proto.get(proto, 0) + count)
+            for (asn, _), count in collector.bytes.items():
+                report.bytes_by_src_asn[asn] = (
+                    report.bytes_by_src_asn.get(asn, 0) + count)
+        if first is not None and last is not None:
+            report.duration = max(last - first, 1e-9)
+        return report

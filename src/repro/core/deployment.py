@@ -1,0 +1,75 @@
+"""Deployment scoping (paper Sec. 5.1).
+
+"The network user may scope the deployment according to different criteria
+(e.g. only on 'border routers of stub networks')."
+
+A :class:`DeploymentScope` resolves declarative criteria (tiers, explicit
+AS sets, exclusions, fractions) to the concrete set of ASes whose adaptive
+devices should receive the service components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DeploymentError
+from repro.net.topology import ASRole, Topology
+from repro.util.rng import derive_rng
+
+__all__ = ["DeploymentScope"]
+
+
+@dataclass(frozen=True)
+class DeploymentScope:
+    """Declarative selection of target ASes.
+
+    * ``roles`` — restrict to tiers (e.g. ``(ASRole.STUB,)`` = the border
+      routers of stub networks from the paper's example),
+    * ``include`` / ``exclude`` — explicit AS adjustments,
+    * ``fraction`` — partial deployment (incremental rollout, Sec. 5.1:
+      "The infrastructure can be deployed incrementally"),
+    * ``seed`` — determinism for fractional sampling.
+    """
+
+    roles: Optional[tuple[ASRole, ...]] = None
+    include: frozenset[int] = frozenset()
+    exclude: frozenset[int] = frozenset()
+    fraction: float = 1.0
+    seed: int = 0
+
+    @classmethod
+    def everywhere(cls) -> "DeploymentScope":
+        return cls()
+
+    @classmethod
+    def stub_borders(cls, fraction: float = 1.0, seed: int = 0) -> "DeploymentScope":
+        """The paper's canonical scope: border routers of stub networks."""
+        return cls(roles=(ASRole.STUB,), fraction=fraction, seed=seed)
+
+    @classmethod
+    def explicit(cls, asns) -> "DeploymentScope":
+        return cls(roles=(), include=frozenset(asns))
+
+    def resolve(self, topology: Topology) -> set[int]:
+        """The concrete AS set for this topology."""
+        if not (0.0 <= self.fraction <= 1.0):
+            raise DeploymentError(f"fraction must be in [0,1], got {self.fraction}")
+        if self.roles is not None and len(self.roles) == 0:
+            base: set[int] = set()
+        elif self.roles is None:
+            base = set(topology.as_numbers)
+        else:
+            base = {a for a in topology.as_numbers if topology.role_of(a) in self.roles}
+        if self.fraction < 1.0 and base:
+            rng = derive_rng(self.seed, "scope")
+            ordered = sorted(base)
+            k = int(round(self.fraction * len(ordered)))
+            picked = rng.choice(len(ordered), size=k, replace=False) if k else []
+            base = {ordered[i] for i in picked}
+        base |= set(self.include)
+        base -= set(self.exclude)
+        unknown = base - set(topology.as_numbers)
+        if unknown:
+            raise DeploymentError(f"scope names unknown ASes: {sorted(unknown)[:5]}")
+        return base

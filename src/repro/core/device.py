@@ -1,0 +1,261 @@
+"""The adaptive device (paper Figs. 2 and 6, Secs. 4.1-4.2, 5.2).
+
+A programmable traffic-processing device attached to a router.  The router
+redirects a packet to the device **only** when the packet is owned by a
+registered network user ("Most traffic will use the direct path through
+the router"); the device then runs up to two processing stages:
+
+1. the *source-owner* stage — the graph installed by the owner of the
+   packet's source address,
+2. the *destination-owner* stage — the graph installed by the owner of the
+   destination address,
+
+"analogous to the high-level communication process of first sending an
+Internet packet by the source (and hence under its control) and then
+receiving it by the destination" (Sec. 4.1).
+
+Scope confinement is structural: a user's graphs only ever see packets
+that user owns, so "a network user can only get control over the IP
+packets he or she owns".  Every stage runs under the
+:class:`~repro.core.safety.SafetyMonitor`; a violating service is disabled
+on the spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import DeploymentError, SafetyViolation
+from repro.core.components import ComponentContext
+from repro.core.graph import ComponentGraph
+from repro.core.ownership import NetworkUser, OwnershipRegistry
+from repro.core.safety import SafetyMonitor, vet_graph
+from repro.net.addressing import Prefix
+from repro.net.packet import Packet
+from repro.net.topology import ASRole
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["DeviceContext", "ServiceInstance", "AdaptiveDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceContext:
+    """Where the device sits — the Sec. 4.2 contextual information."""
+
+    asn: int
+    role: ASRole
+    local_prefix: Prefix
+
+    @property
+    def is_transit(self) -> bool:
+        return self.role is not ASRole.STUB
+
+
+@dataclass
+class ServiceInstance:
+    """One network user's installed service on one device.
+
+    ``src_graph`` runs in the source-owner stage, ``dst_graph`` in the
+    destination-owner stage (either may be absent); ``active`` supports the
+    instant activate/deactivate of Sec. 4.2 ("activated instantly",
+    "triggers can automatically activate predefined additional
+    configurations").
+    """
+
+    user: NetworkUser
+    src_graph: Optional[ComponentGraph] = None
+    dst_graph: Optional[ComponentGraph] = None
+    active: bool = True
+    disabled_for_violation: bool = False
+    monitor: SafetyMonitor = field(default_factory=SafetyMonitor)
+
+    def rule_count(self) -> int:
+        n = 0
+        for graph in (self.src_graph, self.dst_graph):
+            if graph is not None:
+                n += len(graph)
+        return n
+
+
+class AdaptiveDevice:
+    """The programmable device co-located with one AS's router."""
+
+    def __init__(self, context: DeviceContext, registry: OwnershipRegistry,
+                 strict: bool = True, stage_order: str = "src-first") -> None:
+        if stage_order not in ("src-first", "dst-first"):
+            raise DeploymentError(f"unknown stage order {stage_order!r}")
+        self.context = context
+        self.registry = registry
+        #: strict=True re-raises safety violations (library/API use);
+        #: strict=False contains them (live network: restore the packet,
+        #: disable the service, keep forwarding).
+        self.strict = strict
+        #: the paper mandates source stage before destination stage
+        #: ("first sending ... and then receiving", Sec. 4.1); "dst-first"
+        #: exists only for the E13 ablation.
+        self.stage_order = stage_order
+        self.services: dict[str, ServiceInstance] = {}
+        self.redirected = 0
+        self.dropped = 0
+        self.safety_disables = 0
+
+    # -------------------------------------------------------------- management
+    def install(self, user: NetworkUser, src_graph: Optional[ComponentGraph] = None,
+                dst_graph: Optional[ComponentGraph] = None) -> ServiceInstance:
+        """Install (after vetting) a user's stage graphs on this device."""
+        if src_graph is None and dst_graph is None:
+            raise DeploymentError(f"user {user.user_id!r}: nothing to install")
+        for graph in (src_graph, dst_graph):
+            if graph is not None:
+                vet_graph(graph)
+        instance = self.services.get(user.user_id)
+        if instance is None:
+            instance = ServiceInstance(user=user)
+            self.services[user.user_id] = instance
+        if src_graph is not None:
+            instance.src_graph = src_graph
+        if dst_graph is not None:
+            instance.dst_graph = dst_graph
+        instance.disabled_for_violation = False
+        return instance
+
+    def uninstall(self, user_id: str) -> bool:
+        return self.services.pop(user_id, None) is not None
+
+    def set_active(self, user_id: str, active: bool) -> None:
+        try:
+            self.services[user_id].active = active
+        except KeyError as exc:
+            raise DeploymentError(f"no service for user {user_id!r} here") from exc
+
+    def rule_count(self) -> int:
+        """Total installed components — the Sec. 5.3 scaling quantity."""
+        return sum(s.rule_count() for s in self.services.values())
+
+    # -------------------------------------------------------- routing updates
+    def on_routing_update(self) -> list[str]:
+        """React to a routing/topology change (Sec. 4.2).
+
+        With ``routing_update_policy == "adapt"`` (default) the device
+        re-derives its context and keeps running; with ``"disable"`` every
+        service containing a topology-dependent component is deactivated
+        until :meth:`reconfirm_topology` (the NMS pushing fresh
+        configuration) re-enables it.  Returns the affected user ids.
+        """
+        self.routing_updates = getattr(self, "routing_updates", 0) + 1
+        policy = getattr(self, "routing_update_policy", "adapt")
+        affected: list[str] = []
+        for user_id, instance in self.services.items():
+            has_topo = any(
+                component.topology_dependent
+                for graph in (instance.src_graph, instance.dst_graph)
+                if graph is not None
+                for component in graph.components()
+            )
+            if has_topo:
+                affected.append(user_id)
+                if policy == "disable":
+                    instance.active = False
+        if policy == "disable":
+            pending = getattr(self, "pending_routing_reconfig", set())
+            pending.update(affected)
+            self.pending_routing_reconfig = pending
+        return affected
+
+    def reconfirm_topology(self, user_id: Optional[str] = None) -> int:
+        """Re-enable services disabled by a routing update; returns count."""
+        pending: set[str] = getattr(self, "pending_routing_reconfig", set())
+        targets = [user_id] if user_id is not None else list(pending)
+        revived = 0
+        for uid in targets:
+            if uid in pending and uid in self.services:
+                self.services[uid].active = True
+                pending.discard(uid)
+                revived += 1
+        return revived
+
+    # -------------------------------------------------------------- fast path
+    def wants(self, packet: Packet) -> bool:
+        """Redirect decision: does a registered user with a service here own
+        this packet?  Everything else takes the router's direct path."""
+        src_owner, dst_owner = self.registry.owners_of_packet(packet)
+        for owner in (src_owner, dst_owner):
+            if owner is not None and owner.user_id in self.services:
+                return True
+        return False
+
+    def process(self, packet: Packet, now: float,
+                ingress_asn: Optional[int]) -> Optional[Packet]:
+        """Run the two processing stages; None means the packet was dropped."""
+        self.redirected += 1
+        src_owner, dst_owner = self.registry.owners_of_packet(packet)
+        local_origin = ingress_asn is None
+        stages = [(src_owner, "source"), (dst_owner, "dest")]
+        if self.stage_order == "dst-first":  # E13 ablation only
+            stages.reverse()
+        for owner, stage in stages:
+            if owner is None:
+                continue
+            packet_after = self._run_stage(packet, owner, stage, now,
+                                           ingress_asn, local_origin)
+            if packet_after is None:
+                self.dropped += 1
+                return None
+            packet = packet_after
+        return packet
+
+    def _run_stage(self, packet: Packet, owner: NetworkUser, stage: str,
+                   now: float, ingress_asn: Optional[int],
+                   local_origin: bool) -> Optional[Packet]:
+        instance = self.services.get(owner.user_id)
+        if instance is None or not instance.active or instance.disabled_for_violation:
+            return packet
+        graph = instance.src_graph if stage == "source" else instance.dst_graph
+        if graph is None:
+            return packet
+        ctx = ComponentContext(
+            now=now, asn=self.context.asn, is_transit=self.context.is_transit,
+            local_prefix=self.context.local_prefix, stage=stage, owner=owner,
+            ingress_asn=ingress_asn, local_origin=local_origin,
+        )
+        before = instance.monitor.note_in(packet)
+        from repro.core.components import Verdict  # cheap local import
+
+        verdict = graph.process(packet, ctx)
+        result = packet if verdict is Verdict.PASS else None
+        try:
+            instance.monitor.check(before, result, graph.name)
+        except SafetyViolation:
+            # Sec. 4.5: contain the misbehaving service immediately.
+            instance.disabled_for_violation = True
+            self.safety_disables += 1
+            if self.strict:
+                raise
+            # fail-safe containment: undo the forbidden mutations and let
+            # the packet continue on the router's normal path
+            from repro.net.addressing import IPv4Address
+
+            packet.src = IPv4Address(before.src)
+            packet.dst = IPv4Address(before.dst)
+            packet.ttl = before.ttl
+            packet.size = before.size
+            return packet
+        return result
+
+
+def attach_device(network: "Network", asn: int,
+                  registry: OwnershipRegistry) -> AdaptiveDevice:
+    """Create an adaptive device and hook it to the AS's router (Fig. 2).
+
+    Live-network devices run in containment mode (strict=False): a safety
+    violation disables the offending service instead of halting forwarding.
+    """
+    topo = network.topology
+    context = DeviceContext(asn=asn, role=topo.role_of(asn),
+                            local_prefix=topo.prefix_of(asn))
+    device = AdaptiveDevice(context, registry, strict=False)
+    network.routers[asn].adaptive_device = device
+    return device

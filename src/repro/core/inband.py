@@ -1,0 +1,194 @@
+"""In-band control plane: TCSP and NMS requests as real network packets.
+
+The base control plane (:mod:`repro.core.tcsp`) models Fig. 4/5 as direct
+method calls with an explicit ``reachable`` flag.  This module closes the
+loop for experiment E7: the TCSP runs on a *host inside the simulated
+network*, control requests travel as packets, and a DDoS that saturates
+the TCSP's access link (or its CPU) makes requests time out for real —
+"an ongoing DDoS attack on the TCSP" (Sec. 5.1) becomes a measurable
+packet-level phenomenon rather than a switch.
+
+Only the transport is modelled here; request semantics are delegated to
+the wrapped :class:`~repro.core.tcsp.Tcsp` object on delivery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ControlPlaneUnavailable
+from repro.core.tcsp import Tcsp
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.net.packet import Packet, Protocol
+
+__all__ = ["ControlRequest", "ControlOutcome", "InbandControlPlane"]
+
+_request_ids = itertools.count(1)
+
+#: size of a control message on the wire (small, like the paper's Fig. 4/5
+#: request/confirm exchanges)
+CONTROL_PACKET_BYTES = 200
+
+
+@dataclass
+class ControlRequest:
+    """One in-flight control-plane request."""
+
+    request_id: int
+    operation: str                     # e.g. "register", "deploy"
+    payload: tuple = ()
+    sent_at: float = 0.0
+    completed_at: Optional[float] = None
+    result: Any = None
+    error: Optional[Exception] = None
+    timed_out: bool = False
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.sent_at
+
+
+@dataclass
+class ControlOutcome:
+    """Summary of a completed (or failed) request for experiment tables."""
+
+    operation: str
+    ok: bool
+    latency: Optional[float]
+    timed_out: bool
+    error: str = ""
+
+
+class InbandControlPlane:
+    """A network user's packet-level channel to the TCSP.
+
+    The TCSP is attached to the network as a host (with an optional CPU
+    capacity, so request floods exhaust it).  ``request()`` sends a control
+    packet, schedules a timeout, and — on delivery at the TCSP host —
+    executes the operation against the wrapped :class:`Tcsp` and returns a
+    response packet.  Unanswered requests raise
+    :class:`ControlPlaneUnavailable` via the timeout path.
+    """
+
+    def __init__(self, network: Network, tcsp: Tcsp, tcsp_asn: int,
+                 user_host: Host, timeout: float = 0.5,
+                 tcsp_processing_pps: float = 500.0) -> None:
+        self.network = network
+        self.tcsp = tcsp
+        self.user_host = user_host
+        self.timeout = timeout
+        self.tcsp_host = network.add_host(tcsp_asn,
+                                          processing_pps=tcsp_processing_pps)
+        self.tcsp_host.add_responder(self._serve)
+        self.user_host.add_responder(self._receive_response)
+        self._pending: dict[int, ControlRequest] = {}
+        self._callbacks: dict[int, Callable[[ControlRequest], None]] = {}
+        self.completed: list[ControlRequest] = []
+
+    # ------------------------------------------------------------- client side
+    def request(self, operation: str, payload: tuple = (),
+                on_done: Optional[Callable[[ControlRequest], None]] = None
+                ) -> ControlRequest:
+        """Send one control request; completion/timeout is asynchronous."""
+        req = ControlRequest(request_id=next(_request_ids),
+                             operation=operation, payload=payload,
+                             sent_at=self.network.sim.now)
+        self._pending[req.request_id] = req
+        if on_done is not None:
+            self._callbacks[req.request_id] = on_done
+        pkt = Packet(src=self.user_host.address, dst=self.tcsp_host.address,
+                     proto=Protocol.TCP, size=CONTROL_PACKET_BYTES,
+                     dport=4242, sport=req.request_id % 60_000,
+                     kind="control-request")
+        pkt.payload_digest = str(req.request_id).encode()
+        self.user_host.send(pkt)
+        self.network.sim.schedule(self.timeout, self._check_timeout,
+                                  req.request_id)
+        return req
+
+    def _check_timeout(self, request_id: int) -> None:
+        req = self._pending.pop(request_id, None)
+        if req is None:
+            return  # already answered
+        req.timed_out = True
+        req.error = ControlPlaneUnavailable(
+            f"control request {req.operation!r} unanswered after "
+            f"{self.timeout:.2f}s (TCSP under attack?)")
+        self.completed.append(req)
+        self._finish(req)
+
+    def _receive_response(self, packet: Packet, host: Host, now: float):
+        if packet.kind != "control-response":
+            return None
+        request_id = int(packet.payload_digest.decode())
+        req = self._pending.pop(request_id, None)
+        if req is None:
+            return None  # response after timeout: ignored
+        req.completed_at = now
+        self.completed.append(req)
+        self._finish(req)
+        return None
+
+    def _finish(self, req: ControlRequest) -> None:
+        callback = self._callbacks.pop(req.request_id, None)
+        if callback is not None:
+            callback(req)
+
+    # ------------------------------------------------------------- server side
+    def _serve(self, packet: Packet, host: Host, now: float):
+        if packet.kind != "control-request":
+            return None
+        request_id = int(packet.payload_digest.decode())
+        # execute the operation against the wrapped TCSP
+        req = self._pending.get(request_id)
+        if req is not None:
+            try:
+                req.result = self._dispatch(req)
+            except Exception as exc:  # recorded, still answered
+                req.error = exc
+        response = Packet(src=host.address, dst=packet.src,
+                          proto=Protocol.TCP, size=CONTROL_PACKET_BYTES,
+                          sport=4242, kind="control-response")
+        response.payload_digest = packet.payload_digest
+        return [response]
+
+    def _dispatch(self, req: ControlRequest) -> Any:
+        if req.operation == "ping":
+            return "pong"
+        if req.operation == "register":
+            user_id, prefixes = req.payload
+            return self.tcsp.register_user(user_id, prefixes)
+        if req.operation == "deploy":
+            cert, scope, src_factory, dst_factory = req.payload
+            return self.tcsp.deploy_service(cert, scope, src_factory,
+                                            dst_factory)
+        if req.operation == "set-active":
+            cert, active = req.payload
+            return self.tcsp.set_active(cert, active)
+        raise ControlPlaneUnavailable(f"unknown operation {req.operation!r}")
+
+    # -------------------------------------------------------------- statistics
+    def outcomes(self) -> list[ControlOutcome]:
+        return [
+            ControlOutcome(operation=r.operation,
+                           ok=r.completed_at is not None and r.error is None,
+                           latency=r.latency, timed_out=r.timed_out,
+                           error=type(r.error).__name__ if r.error else "")
+            for r in self.completed
+        ]
+
+    def success_fraction(self) -> float:
+        if not self.completed:
+            return 0.0
+        ok = sum(1 for r in self.completed
+                 if r.completed_at is not None and r.error is None)
+        return ok / len(self.completed)
+
+    def mean_latency(self) -> Optional[float]:
+        latencies = [r.latency for r in self.completed if r.latency is not None]
+        return sum(latencies) / len(latencies) if latencies else None

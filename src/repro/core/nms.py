@@ -1,0 +1,154 @@
+"""Per-ISP network management systems (paper Figs. 3 and 5, Sec. 5.1).
+
+Each ISP runs an NMS that (a) attaches adaptive devices to its routers,
+(b) installs/configures service components on them when instructed by the
+TCSP, and (c) — crucially for availability — accepts *direct* requests
+from certificate-bearing network users, so the service stays controllable
+"if the network conditions are such that the TCSP can no longer be
+reached, e.g. because of an ongoing DDoS attack on the TCSP".  An NMS can
+also forward configurations to peer NMSes on the user's behalf.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, TYPE_CHECKING
+
+from repro.errors import CertificateError, DeploymentError, ScopeViolation
+from repro.core.certificates import CertificateAuthority, OwnershipCertificate
+from repro.core.device import AdaptiveDevice, DeviceContext, attach_device
+from repro.core.graph import ComponentGraph
+from repro.core.ownership import NetworkUser, OwnershipRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["IspNms", "GraphFactory"]
+
+#: builds a stage graph specialised to one device's context
+GraphFactory = Callable[[DeviceContext], ComponentGraph]
+
+
+class IspNms:
+    """The network management system of one ISP (a set of ASes)."""
+
+    def __init__(self, isp_id: str, network: "Network", asns: Iterable[int],
+                 ca: CertificateAuthority) -> None:
+        self.isp_id = isp_id
+        self.network = network
+        self.asns: set[int] = set(asns)
+        self.ca = ca
+        self.registry = OwnershipRegistry()
+        self.devices: dict[int, AdaptiveDevice] = {}
+        self.peers: list["IspNms"] = []
+        self.deployments = 0
+        self.direct_requests = 0
+
+    # ----------------------------------------------------------------- devices
+    def attach_devices(self, asns: Optional[Iterable[int]] = None) -> None:
+        """Attach adaptive devices to (a subset of) this ISP's routers."""
+        for asn in (self.asns if asns is None else asns):
+            if asn not in self.asns:
+                raise DeploymentError(f"{self.isp_id}: AS {asn} is not ours")
+            if asn not in self.devices:
+                self.devices[asn] = attach_device(self.network, asn, self.registry)
+
+    def device_at(self, asn: int) -> AdaptiveDevice:
+        try:
+            return self.devices[asn]
+        except KeyError as exc:
+            raise DeploymentError(f"{self.isp_id}: no device at AS {asn}") from exc
+
+    # -------------------------------------------------------------- deployment
+    def deploy(self, cert: OwnershipCertificate, user: NetworkUser,
+               target_asns: Iterable[int],
+               src_graph_factory: Optional[GraphFactory] = None,
+               dst_graph_factory: Optional[GraphFactory] = None) -> list[int]:
+        """Install a user's service on this ISP's devices (Fig. 5 step
+        'deploy/configure service components').
+
+        The certificate is verified, and the user identity must match —
+        the ISP-side half of the safe-delegation contract.  Returns the
+        ASes actually configured.
+        """
+        self.ca.verify(cert, self.network.sim.now)
+        if cert.user_id != user.user_id:
+            raise CertificateError(
+                f"certificate for {cert.user_id!r} used by {user.user_id!r}"
+            )
+        for prefix in user.prefixes:
+            if not cert.covers(prefix):
+                raise ScopeViolation(
+                    f"user {user.user_id!r} claims prefix {prefix} outside "
+                    f"its certificate"
+                )
+        if self.registry.owner_of(user.prefixes[0].first) is None:
+            self.registry.register(user)
+        configured = []
+        for asn in sorted(set(target_asns) & self.asns):
+            device = self.devices.get(asn)
+            if device is None:
+                continue  # ISP has no device at this router (yet)
+            src_graph = src_graph_factory(device.context) if src_graph_factory else None
+            dst_graph = dst_graph_factory(device.context) if dst_graph_factory else None
+            if src_graph is None and dst_graph is None:
+                continue
+            device.install(user, src_graph=src_graph, dst_graph=dst_graph)
+            configured.append(asn)
+        self.deployments += 1
+        return configured
+
+    def deploy_direct(self, cert: OwnershipCertificate, user: NetworkUser,
+                      target_asns: Iterable[int],
+                      src_graph_factory: Optional[GraphFactory] = None,
+                      dst_graph_factory: Optional[GraphFactory] = None,
+                      forward_to_peers: bool = False) -> list[int]:
+        """Direct user -> NMS path (TCSP unreachable, Sec. 5.1).
+
+        With ``forward_to_peers`` the NMS relays the configuration to its
+        peer NMSes "upon request of the network user".
+        """
+        self.direct_requests += 1
+        configured = self.deploy(cert, user, target_asns,
+                                 src_graph_factory, dst_graph_factory)
+        if forward_to_peers:
+            for peer in self.peers:
+                configured += peer.deploy(cert, user, target_asns,
+                                          src_graph_factory, dst_graph_factory)
+        return configured
+
+    # ------------------------------------------------------------- management
+    def set_active(self, cert: OwnershipCertificate, user_id: str,
+                   active: bool) -> int:
+        """Activate/deactivate a user's service on all our devices."""
+        self.ca.verify(cert, self.network.sim.now)
+        if cert.user_id != user_id:
+            raise CertificateError("certificate/user mismatch")
+        touched = 0
+        for device in self.devices.values():
+            if user_id in device.services:
+                device.set_active(user_id, active)
+                touched += 1
+        return touched
+
+    def read_logs(self, cert: OwnershipCertificate, user_id: str) -> list[tuple]:
+        """Collect the user's logger entries across our devices."""
+        self.ca.verify(cert, self.network.sim.now)
+        if cert.user_id != user_id:
+            raise CertificateError("certificate/user mismatch")
+        from repro.core.components import LoggerComponent
+
+        entries: list[tuple] = []
+        for device in self.devices.values():
+            instance = device.services.get(user_id)
+            if instance is None:
+                continue
+            for graph in (instance.src_graph, instance.dst_graph):
+                if graph is None:
+                    continue
+                for component in graph.components():
+                    if isinstance(component, LoggerComponent):
+                        entries.extend(component.entries)
+        return sorted(entries)
+
+    def rule_count(self) -> int:
+        return sum(d.rule_count() for d in self.devices.values())

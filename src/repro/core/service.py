@@ -1,0 +1,90 @@
+"""The network user's facade over the traffic control service.
+
+:class:`TrafficControlService` is the public API a subscriber programs
+against after registering (Fig. 4): deploy component graphs into the
+network under a scope, flip services on/off, change parameters, read logs
+— via the TCSP while it is reachable, or directly against a home-ISP NMS
+(with peer forwarding) when it is not (Sec. 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ControlPlaneUnavailable, DeploymentError
+from repro.core.certificates import OwnershipCertificate
+from repro.core.deployment import DeploymentScope
+from repro.core.nms import GraphFactory, IspNms
+from repro.core.ownership import NetworkUser
+from repro.core.tcsp import Tcsp
+
+__all__ = ["TrafficControlService"]
+
+
+class TrafficControlService:
+    """One registered user's handle on the distributed traffic control
+    service."""
+
+    def __init__(self, tcsp: Tcsp, user: NetworkUser,
+                 cert: OwnershipCertificate,
+                 home_nms: Optional[IspNms] = None) -> None:
+        self.tcsp = tcsp
+        self.user = user
+        self.cert = cert
+        #: the NMS of the user's own ISP — the Sec. 5.1 fallback path
+        self.home_nms = home_nms
+        self.fallback_used = 0
+
+    # --------------------------------------------------------------- deploy
+    def deploy(self, scope: DeploymentScope,
+               src_graph_factory: Optional[GraphFactory] = None,
+               dst_graph_factory: Optional[GraphFactory] = None
+               ) -> dict[str, list[int]]:
+        """Deploy stage graphs under a scope, via TCSP or NMS fallback.
+
+        Returns {isp_id: [configured ASes]} (the fallback path reports
+        under the home NMS's id).
+        """
+        if src_graph_factory is None and dst_graph_factory is None:
+            raise DeploymentError("nothing to deploy")
+        try:
+            return self.tcsp.deploy_service(
+                self.cert, scope, src_graph_factory, dst_graph_factory,
+            )
+        except ControlPlaneUnavailable:
+            if self.home_nms is None:
+                raise
+            self.fallback_used += 1
+            target = scope.resolve(self.tcsp.network.topology)
+            configured = self.home_nms.deploy_direct(
+                self.cert, self.user, target,
+                src_graph_factory, dst_graph_factory, forward_to_peers=True,
+            )
+            return {self.home_nms.isp_id: configured}
+
+    # ------------------------------------------------------------ management
+    def set_active(self, active: bool) -> int:
+        """Activate or deactivate this user's services network-wide."""
+        try:
+            return self.tcsp.set_active(self.cert, active)
+        except ControlPlaneUnavailable:
+            if self.home_nms is None:
+                raise
+            self.fallback_used += 1
+            touched = self.home_nms.set_active(self.cert, self.user.user_id, active)
+            for peer in self.home_nms.peers:
+                touched += peer.set_active(self.cert, self.user.user_id, active)
+            return touched
+
+    def read_logs(self) -> list[tuple]:
+        """Fetch this user's log entries from every device."""
+        try:
+            return self.tcsp.read_logs(self.cert)
+        except ControlPlaneUnavailable:
+            if self.home_nms is None:
+                raise
+            self.fallback_used += 1
+            entries = self.home_nms.read_logs(self.cert, self.user.user_id)
+            for peer in self.home_nms.peers:
+                entries.extend(peer.read_logs(self.cert, self.user.user_id))
+            return sorted(entries)

@@ -1,0 +1,181 @@
+"""The Traffic Control Service Provider (paper Figs. 3-5, Sec. 5.1).
+
+The TCSP is the single point of registration and orchestration:
+
+* *registration* (Fig. 4): check the network user's identity, verify
+  claimed address ownership against the Internet number authority, issue a
+  signed ownership certificate;
+* *contracts* (Fig. 3): "sets up contracts with many ISPs that
+  subsequently attach adaptive devices to some or all of their routers";
+* *deployment relay* (Fig. 5): map a user's service request to component
+  configurations and instruct the contracted ISPs' NMSes;
+* *management relay*: parameter changes, activation, log collection.
+
+"The introduction of a TCSP helps to scale the management of our service.
+Only a single service registration is needed instead of a separate one
+with each ISP."  Availability is modelled explicitly (``reachable``): when
+the TCSP itself is under DDoS, all calls raise
+:class:`ControlPlaneUnavailable` and users fall back to the direct NMS
+path — experiment E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, TYPE_CHECKING
+
+from repro.errors import (
+    ControlPlaneUnavailable,
+    DeploymentError,
+    RegistrationError,
+)
+from repro.core.certificates import CertificateAuthority, OwnershipCertificate
+from repro.core.deployment import DeploymentScope
+from repro.core.nms import GraphFactory, IspNms
+from repro.core.ownership import NetworkUser, NumberAuthority
+from repro.net.addressing import Prefix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["IspContract", "Tcsp"]
+
+
+@dataclass
+class IspContract:
+    """A TCSP <-> ISP agreement (Fig. 3): which NMS manages which ASes."""
+
+    isp_id: str
+    nms: IspNms
+    signed_at: float = 0.0
+
+
+class Tcsp:
+    """The traffic control service provider."""
+
+    def __init__(self, name: str, authority: NumberAuthority,
+                 network: "Network") -> None:
+        self.name = name
+        self.authority = authority
+        self.network = network
+        self.ca = CertificateAuthority(issuer=name)
+        self.contracts: dict[str, IspContract] = {}
+        self.registered: dict[str, tuple[NetworkUser, OwnershipCertificate]] = {}
+        #: False while the TCSP itself is being DDoSed (Sec. 5.1)
+        self.reachable = True
+        self.registrations_refused = 0
+
+    def _require_reachable(self) -> None:
+        if not self.reachable:
+            raise ControlPlaneUnavailable(
+                f"TCSP {self.name!r} unreachable (e.g. under DDoS); use the "
+                f"direct ISP NMS path"
+            )
+
+    # ---------------------------------------------------------------- contracts
+    def contract_isp(self, isp_id: str, asns: Iterable[int],
+                     attach_all: bool = True) -> IspNms:
+        """Sign up an ISP: create its NMS and attach adaptive devices."""
+        self._require_reachable()
+        if isp_id in self.contracts:
+            raise DeploymentError(f"ISP {isp_id!r} already contracted")
+        nms = IspNms(isp_id, self.network, asns, ca=self.ca)
+        if attach_all:
+            nms.attach_devices()
+        # peer all contracted NMSes with each other (config forwarding path)
+        for contract in self.contracts.values():
+            contract.nms.peers.append(nms)
+            nms.peers.append(contract.nms)
+        self.contracts[isp_id] = IspContract(isp_id=isp_id, nms=nms,
+                                             signed_at=self.network.sim.now)
+        return nms
+
+    @property
+    def nmses(self) -> list[IspNms]:
+        return [c.nms for c in self.contracts.values()]
+
+    def covered_asns(self) -> set[int]:
+        """ASes with an attached adaptive device under any contract."""
+        out: set[int] = set()
+        for nms in self.nmses:
+            out |= set(nms.devices)
+        return out
+
+    # -------------------------------------------------------------- registration
+    def register_user(self, user_id: str, prefixes: Iterable[Prefix],
+                      identity_verified: bool = True,
+                      validity: float = 365.0 * 86400.0
+                      ) -> tuple[NetworkUser, OwnershipCertificate]:
+        """The Fig. 4 workflow: verify identity, verify ownership, certify."""
+        self._require_reachable()
+        prefixes = list(prefixes)
+        if not prefixes:
+            raise RegistrationError("registration needs at least one prefix")
+        if not identity_verified:
+            self.registrations_refused += 1
+            raise RegistrationError(
+                f"identity of {user_id!r} could not be verified (CA step)"
+            )
+        if not self.authority.verify_ownership(user_id, prefixes):
+            self.registrations_refused += 1
+            raise RegistrationError(
+                f"number authority does not list {user_id!r} as holder of "
+                f"all of {[str(p) for p in prefixes]}"
+            )
+        user = NetworkUser(user_id=user_id, prefixes=prefixes)
+        cert = self.ca.issue(user_id, prefixes, now=self.network.sim.now,
+                             validity=validity)
+        self.registered[user_id] = (user, cert)
+        return user, cert
+
+    def user(self, user_id: str) -> NetworkUser:
+        try:
+            return self.registered[user_id][0]
+        except KeyError as exc:
+            raise RegistrationError(f"user {user_id!r} not registered") from exc
+
+    # --------------------------------------------------------------- deployment
+    def deploy_service(self, cert: OwnershipCertificate,
+                       scope: DeploymentScope,
+                       src_graph_factory: Optional[GraphFactory] = None,
+                       dst_graph_factory: Optional[GraphFactory] = None
+                       ) -> dict[str, list[int]]:
+        """Fig. 5: map the request to components and instruct the ISP NMSes.
+
+        Returns {isp_id: [configured ASes]}.
+        """
+        self._require_reachable()
+        self.ca.verify(cert, self.network.sim.now)
+        if cert.user_id not in self.registered:
+            raise RegistrationError(f"user {cert.user_id!r} not registered")
+        user = self.registered[cert.user_id][0]
+        target = scope.resolve(self.network.topology)
+        results: dict[str, list[int]] = {}
+        for isp_id, contract in sorted(self.contracts.items()):
+            configured = contract.nms.deploy(
+                cert, user, target, src_graph_factory, dst_graph_factory,
+            )
+            if configured:
+                results[isp_id] = configured
+        return results
+
+    # --------------------------------------------------------------- management
+    def set_active(self, cert: OwnershipCertificate, active: bool) -> int:
+        """Relay an activate/deactivate request to all contracted NMSes."""
+        self._require_reachable()
+        return sum(
+            contract.nms.set_active(cert, cert.user_id, active)
+            for contract in self.contracts.values()
+        )
+
+    def read_logs(self, cert: OwnershipCertificate) -> list[tuple]:
+        """Relay a log-read request to all contracted NMSes."""
+        self._require_reachable()
+        entries: list[tuple] = []
+        for contract in self.contracts.values():
+            entries.extend(contract.nms.read_logs(cert, cert.user_id))
+        return sorted(entries)
+
+    def total_rule_count(self) -> int:
+        """Installed components across the whole infrastructure (Sec. 5.3)."""
+        return sum(nms.rule_count() for nms in self.nmses)

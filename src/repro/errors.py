@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AddressError",
+    "TopologyError",
+    "RoutingError",
+    "SimulationError",
+    "AttackConfigError",
+    "MitigationError",
+    "OwnershipError",
+    "RegistrationError",
+    "CertificateError",
+    "ScopeViolation",
+    "SafetyViolation",
+    "VettingError",
+    "DeploymentError",
+    "ComponentGraphError",
+    "ControlPlaneUnavailable",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError):
+    """Malformed IPv4 address or prefix, or an impossible allocation."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology construction or query."""
+
+
+class RoutingError(ReproError):
+    """No route exists, or the routing tables are inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulator misuse (e.g. scheduling in the past)."""
+
+
+class AttackConfigError(ReproError):
+    """An attack scenario was configured inconsistently."""
+
+
+class MitigationError(ReproError):
+    """A mitigation scheme was configured or driven incorrectly."""
+
+
+class OwnershipError(ReproError):
+    """Traffic-ownership bookkeeping failure (unknown prefix/owner)."""
+
+
+class RegistrationError(ReproError):
+    """TCSP service registration was refused (Fig. 4 of the paper)."""
+
+
+class CertificateError(ReproError):
+    """An ownership certificate failed verification."""
+
+
+class ScopeViolation(ReproError):
+    """A network user tried to control traffic they do not own (Sec. 4.5)."""
+
+
+class SafetyViolation(ReproError):
+    """Runtime safety invariant broken: rate/byte amplification or header
+    mutation of src/dst/TTL inside an adaptive device (Sec. 4.5)."""
+
+
+class VettingError(ReproError):
+    """A component or component graph failed static security vetting
+    before deployment (Sec. 4.5: 'new service modules must be checked for
+    security compliance before deployment')."""
+
+
+class DeploymentError(ReproError):
+    """Service deployment through TCSP/ISP NMS failed (Fig. 5)."""
+
+
+class ComponentGraphError(ReproError):
+    """Malformed processing-component graph (cycles, dangling ports)."""
+
+
+class ControlPlaneUnavailable(ReproError):
+    """The contacted control-plane entity (e.g. the TCSP under DDoS,
+    Sec. 5.1) is currently unreachable."""

@@ -1,0 +1,9 @@
+"""Experiment harness: one module per claim of the paper (see DESIGN.md
+for the experiment index).  Every module exposes ``run(cfg) -> Table`` (or
+several tables); the benchmark suite regenerates them, and EXPERIMENTS.md
+records paper-claim vs. measured shape.
+"""
+
+from repro.experiments.common import ExperimentConfig, run_all
+
+__all__ = ["ExperimentConfig", "run_all"]

@@ -1,0 +1,48 @@
+"""Batch experiment runner.
+
+Usage::
+
+    python -m repro.experiments              # all experiments, full scale
+    python -m repro.experiments E2 E4        # a subset
+    python -m repro.experiments --scale 0.3  # faster, smaller
+    python -m repro.experiments --markdown   # EXPERIMENTS.md-ready output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.common import ExperimentConfig, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.experiments",
+                                     description=__doc__)
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids to run (default: all)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="size multiplier for workload knobs")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit GitHub-flavoured markdown tables")
+    args = parser.parse_args(argv)
+
+    cfg = ExperimentConfig(seed=args.seed, scale=args.scale)
+    only = args.experiments or None
+    started = time.perf_counter()
+    results = run_all(cfg, only=only)
+    for exp_id, tables in results.items():
+        for table in tables:
+            print(table.to_markdown() if args.markdown else table.to_text())
+            print()
+    elapsed = time.perf_counter() - started
+    print(f"# ran {sum(len(t) for t in results.values())} tables from "
+          f"{len(results)} experiments in {elapsed:.1f}s "
+          f"(scale={args.scale})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

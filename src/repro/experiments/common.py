@@ -1,0 +1,78 @@
+"""Shared experiment scaffolding: configuration, registry, batch runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable
+
+from repro.util.tables import Table
+
+__all__ = ["ExperimentConfig", "register", "registry", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``scale`` trades fidelity for runtime: 1.0 is the full (paper-shaped)
+    configuration used for EXPERIMENTS.md; benchmarks use smaller scales.
+    """
+
+    seed: int = 42
+    scale: float = 1.0
+
+    def scaled(self, n: int, minimum: int = 1) -> int:
+        """Scale an integer knob, keeping it at least ``minimum``."""
+        return max(minimum, int(round(n * self.scale)))
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        return replace(self, seed=seed)
+
+
+_REGISTRY: dict[str, Callable[[ExperimentConfig], list[Table]]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment's runner under its id."""
+
+    def wrap(fn: Callable[[ExperimentConfig], list[Table]]):
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def registry() -> dict[str, Callable[[ExperimentConfig], list[Table]]]:
+    # import for side effects: each module registers itself
+    from repro.experiments import (  # noqa: F401
+        e1_reflector_anatomy,
+        e2_mitigation_matrix,
+        e3_deployment_sweep,
+        e4_tcs_defense,
+        e5_safety,
+        e6_scalability,
+        e7_control_plane,
+        e8_protocol_misuse,
+        e9_traceback,
+        e10_triggers,
+        e11_debugging,
+        e12_incentives,
+        e13_ablations,
+        e14_server_farm,
+        e15_arms_race,
+    )
+
+    return dict(_REGISTRY)
+
+
+def run_all(cfg: ExperimentConfig | None = None,
+            only: Iterable[str] | None = None) -> dict[str, list[Table]]:
+    """Run all (or selected) experiments; returns {id: [tables]}."""
+    cfg = cfg or ExperimentConfig()
+    wanted = set(only) if only is not None else None
+    results: dict[str, list[Table]] = {}
+    for exp_id, runner in sorted(registry().items()):
+        if wanted is not None and exp_id not in wanted:
+            continue
+        results[exp_id] = runner(cfg)
+    return results

@@ -1,0 +1,194 @@
+"""E5 — misuse prevention (paper Sec. 4.5).
+
+Enumerates concrete misuse attempts against the service and shows each is
+refused by the designed mechanism: registration checks, certificate
+verification, static vetting, runtime conservation monitoring, and
+structural scope confinement.  "Any misuse of such a novel service must be
+prevented from the very beginning."
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    AdaptiveDevice,
+    ComponentGraph,
+    DeploymentScope,
+    DeviceContext,
+    NetworkUser,
+    NumberAuthority,
+    OwnershipRegistry,
+    Tcsp,
+    vet_component,
+)
+from repro.core.components import Capabilities, Component, Verdict
+from repro.errors import (
+    CertificateError,
+    RegistrationError,
+    SafetyViolation,
+    ScopeViolation,
+    VettingError,
+)
+from repro.experiments.common import ExperimentConfig, register
+from repro.net import ASRole, IPv4Address, Network, Packet, Prefix, TopologyBuilder
+from repro.util.tables import Table
+
+__all__ = ["run", "safety_table"]
+
+
+def _world(cfg: ExperimentConfig):
+    net = Network(TopologyBuilder.hierarchical(2, 2, 4, seed=cfg.seed))
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+    victim_asn = net.topology.stub_ases[0]
+    prefix = net.topology.prefix_of(victim_asn)
+    authority.record_allocation(prefix, "acme")
+    user, cert = tcsp.register_user("acme", [prefix])
+    return net, authority, tcsp, nms, user, cert, victim_asn
+
+
+def safety_table(cfg: ExperimentConfig) -> Table:
+    table = Table(
+        "E5: misuse attempts vs. the Sec. 4.5 protections",
+        ["attempt", "mechanism", "blocked", "error/observation"],
+    )
+    net, authority, tcsp, nms, user, cert, victim_asn = _world(cfg)
+
+    def attempt(label: str, mechanism: str, fn) -> None:
+        try:
+            observation = fn()
+            blocked = observation is not None and observation.startswith("contained")
+            table.add_row(label, mechanism, blocked, observation or "NOT BLOCKED")
+        except (RegistrationError, CertificateError, VettingError,
+                ScopeViolation, SafetyViolation) as exc:
+            table.add_row(label, mechanism, True, type(exc).__name__)
+
+    attempt("register someone else's prefix", "number-authority check",
+            lambda: tcsp.register_user("evil", [net.topology.prefix_of(victim_asn)]) and "")
+
+    attempt("register with unverified identity", "CA identity check",
+            lambda: tcsp.register_user("shady", [net.topology.prefix_of(1)],
+                                       identity_verified=False) and "")
+
+    def forged_cert():
+        forged = tcsp.ca.issue("evil", [net.topology.prefix_of(1)], now=net.sim.now)
+        import dataclasses
+
+        tampered = dataclasses.replace(forged, prefixes=(Prefix.parse("0.0.0.0/0"),))
+        tcsp.ca.verify(tampered, net.sim.now)
+        return ""
+
+    attempt("tamper with certificate prefixes", "HMAC signature", forged_cert)
+
+    class TtlRewriter(Component):
+        capabilities = Capabilities(modifies_headers=frozenset({"ttl"}))
+
+        def process(self, packet, ctx):
+            return Verdict.PASS
+
+    attempt("deploy TTL-modifying component", "static vetting",
+            lambda: vet_component(TtlRewriter("x")) or "")
+
+    class Duplicator(Component):
+        capabilities = Capabilities(max_outputs_per_input=4)
+
+        def process(self, packet, ctx):
+            return Verdict.PASS
+
+    attempt("deploy rate-amplifying component", "static vetting",
+            lambda: vet_component(Duplicator("x")) or "")
+
+    class Inflater(Component):
+        capabilities = Capabilities(max_size_ratio=3.0)
+
+        def process(self, packet, ctx):
+            return Verdict.PASS
+
+    attempt("deploy byte-amplifying component", "static vetting",
+            lambda: vet_component(Inflater("x")) or "")
+
+    class Chatty(Component):
+        capabilities = Capabilities(extra_traffic_bps=1e9)
+
+        def process(self, packet, ctx):
+            return Verdict.PASS
+
+    attempt("request 1 Gbit/s logging side channel", "static vetting",
+            lambda: vet_component(Chatty("x")) or "")
+
+    # runtime: a component that lies about its capabilities
+    def lying_component():
+        registry = OwnershipRegistry()
+        registry.register(user)
+        device = AdaptiveDevice(
+            DeviceContext(asn=1, role=ASRole.STUB,
+                          local_prefix=net.topology.prefix_of(1)),
+            registry, strict=False)
+
+        class Liar(Component):
+            capabilities = Capabilities()  # claims to be a pure observer
+
+            def process(self, packet, ctx):
+                packet.dst = IPv4Address.parse("10.99.0.1")  # reroute!
+                return Verdict.PASS
+
+        graph = ComponentGraph("liar")
+        graph.add(Liar("liar"))
+        device.install(user, dst_graph=graph)
+        pkt = Packet.udp(IPv4Address.parse("10.50.0.1"), user.prefixes[0].first)
+        original_dst = pkt.dst
+        out = device.process(pkt, 0.0, None)
+        if (out is not None and out.dst == original_dst
+                and device.services[user.user_id].disabled_for_violation):
+            return "contained: mutation undone, service disabled"
+        return "NOT BLOCKED"
+
+    attempt("runtime address rewrite by lying component",
+            "safety monitor + containment", lying_component)
+
+    # structural scope confinement
+    def scope_confinement():
+        registry = OwnershipRegistry()
+        registry.register(user)
+        device = AdaptiveDevice(
+            DeviceContext(asn=1, role=ASRole.STUB,
+                          local_prefix=net.topology.prefix_of(1)),
+            registry)
+
+        class DropEverything(Component):
+            capabilities = Capabilities(may_drop=True)
+
+            def process(self, packet, ctx):
+                return Verdict.DROP
+
+        graph = ComponentGraph("greedy")
+        graph.add(DropEverything("greedy"))
+        device.install(user, src_graph=graph, dst_graph=graph)
+        foreign = Packet.udp(IPv4Address.parse("10.200.0.1"),
+                             IPv4Address.parse("10.201.0.1"))
+        out = device.process(foreign, 0.0, None)
+        if out is foreign and graph.packets_in == 0:
+            return "contained: foreign packet never entered the user's graph"
+        return "NOT BLOCKED"
+
+    attempt("drop-everything rule applied to foreign traffic",
+            "structural scope confinement", scope_confinement)
+
+    # deploying beyond the certificate
+    def cert_scope():
+        greedy = NetworkUser("acme", prefixes=[net.topology.prefix_of(2)])
+        nms.deploy(cert, greedy, [victim_asn])
+        return ""
+
+    attempt("deploy rules for a prefix outside the certificate",
+            "NMS certificate coverage check", cert_scope)
+
+    table.add_note("hypothesis-based property tests of the same invariants "
+                   "live in tests/core/test_graph_safety.py and "
+                   "tests/integration/test_safety_properties.py")
+    return table
+
+
+@register("E5")
+def run(cfg: ExperimentConfig) -> list[Table]:
+    return [safety_table(cfg)]

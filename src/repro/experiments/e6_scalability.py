@@ -1,0 +1,132 @@
+"""E6 — scalability (paper Sec. 5.3).
+
+"It is important to notice that no additional rules must be installed in
+our adaptive devices when more users join the Internet or when additional
+computers are attached. ... The scaling factors that our service depends
+on is the total number of autonomous systems deploying our service, the
+resulting number of rules installed (derived from the tens of thousands
+of subscribers) and the bandwidth at which traffic must be filtered."
+
+Measured here:
+
+* total installed rules vs. number of *subscribers* (grows linearly) and
+  vs. number of *hosts* (flat),
+* per-packet device processing cost vs. installed services (the redirect
+  decision is one LPM lookup; only owners' packets pay for their graphs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import (
+    AdaptiveDevice,
+    ComponentGraph,
+    DeviceContext,
+    NetworkUser,
+    OwnershipRegistry,
+)
+from repro.core.components import HeaderFilter, HeaderMatch
+from repro.experiments.common import ExperimentConfig, register
+from repro.net import ASRole, IPv4Address, Packet, Prefix, Protocol
+from repro.util.tables import Table
+
+__all__ = ["run", "rules_vs_subscribers_table", "rules_vs_hosts_table",
+           "device_cost_table", "build_device"]
+
+
+def build_device(n_subscribers: int, rules_per_subscriber: int = 2,
+                 with_services: bool = True) -> tuple[AdaptiveDevice, list[NetworkUser]]:
+    """A device serving ``n_subscribers`` users, each with a small graph.
+
+    Subscribers own disjoint /16 prefixes under 10.0.0.0/8.
+    """
+    registry = OwnershipRegistry()
+    users = []
+    for i in range(n_subscribers):
+        prefix = Prefix((i + 1) << 16, 16)  # disjoint /16s: 0.1/16, 0.2/16, ...
+        user = NetworkUser(f"user-{i}", prefixes=[prefix])
+        registry.register(user)
+        users.append(user)
+    device = AdaptiveDevice(
+        DeviceContext(asn=1, role=ASRole.STUB,
+                      local_prefix=Prefix.parse("192.168.0.0/16")),
+        registry)
+    if with_services:
+        for user in users:
+            graph = ComponentGraph(f"svc:{user.user_id}")
+            graph.chain(*[
+                HeaderFilter(f"r{j}", HeaderMatch(proto=Protocol.TCP, dport=7))
+                for j in range(rules_per_subscriber)
+            ])
+            device.install(user, dst_graph=graph)
+    return device, users
+
+
+def rules_vs_subscribers_table(cfg: ExperimentConfig) -> Table:
+    table = Table(
+        "E6a: installed rules scale with subscribers (Sec. 5.3)",
+        ["subscribers", "rules_total", "rules_per_subscriber"],
+    )
+    for n in (10, 100, 1000, cfg.scaled(5000, minimum=2000)):
+        device, _ = build_device(n)
+        table.add_row(n, device.rule_count(),
+                      round(device.rule_count() / n, 2))
+    table.add_note("rules grow linearly in subscribers ('tens of thousands "
+                   "rather than millions', Sec. 5.3)")
+    return table
+
+
+def rules_vs_hosts_table(cfg: ExperimentConfig) -> Table:
+    """Growing the *host* population changes nothing on the devices."""
+    table = Table(
+        "E6b: installed rules are independent of the host population (Sec. 5.3)",
+        ["hosts_behind_prefixes", "subscribers", "rules_total"],
+    )
+    device, users = build_device(100)
+    baseline_rules = device.rule_count()
+    for hosts in (10_000, 100_000, 1_000_000, 20_000_000):
+        # hosts live inside the subscribers' prefixes: the ownership trie
+        # and the rule set are untouched; only addresses get denser.
+        table.add_row(hosts, len(users), device.rule_count())
+        assert device.rule_count() == baseline_rules
+    table.add_note("compare 2004's ~21.7M hosts (Sec. 5.3 [2]): the rule "
+                   "count column would still read 200")
+    return table
+
+
+def device_cost_table(cfg: ExperimentConfig) -> Table:
+    """Per-packet processing cost vs. installed services."""
+    table = Table(
+        "E6c: per-packet device cost vs. installed services",
+        ["subscribers", "owned_pkt_us", "unowned_pkt_us", "redirect_check_us"],
+    )
+    reps = cfg.scaled(3000, minimum=500)
+    for n in (10, 100, 1000):
+        device, users = build_device(n)
+        owned = Packet.udp(IPv4Address.parse("172.16.0.1"),
+                           IPv4Address(users[0].prefixes[0].base + 5))
+        unowned = Packet.udp(IPv4Address.parse("172.16.0.1"),
+                             IPv4Address.parse("172.16.0.2"))
+
+        def timed(fn, *args) -> float:
+            start = time.perf_counter()
+            for _ in range(reps):
+                fn(*args)
+            return (time.perf_counter() - start) / reps * 1e6
+
+        t_owned = timed(device.process, owned, 0.0, None)
+        t_unowned = timed(device.process, unowned, 0.0, None)
+        t_check = timed(device.wants, owned)
+        table.add_row(n, round(t_owned, 2), round(t_unowned, 2),
+                      round(t_check, 2))
+    table.add_note("the redirect decision (one LPM lookup) is independent "
+                   "of the subscriber count; unowned traffic 'will use the "
+                   "direct path through the router' (Sec. 4.1)")
+    return table
+
+
+@register("E6")
+def run(cfg: ExperimentConfig) -> list[Table]:
+    return [rules_vs_subscribers_table(cfg), rules_vs_hosts_table(cfg),
+            device_cost_table(cfg)]

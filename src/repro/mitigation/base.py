@@ -1,0 +1,99 @@
+"""Common mitigation interface and report structure.
+
+A mitigation deploys onto a set of ASes of a packet-level network (and
+optionally exposes a fluid-model filter).  Experiments drive all baselines
+— and the paper's traffic control service — through this one interface, so
+the E2 effectiveness matrix compares like with like.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MitigationError
+from repro.net.fluid import FluidFilter
+from repro.net.network import Network
+from repro.net.topology import ASRole, Topology
+from repro.util.rng import derive_rng
+
+__all__ = ["Mitigation", "MitigationReport", "deployment_sample"]
+
+
+class Mitigation(abc.ABC):
+    """A deployable DDoS mitigation scheme."""
+
+    #: short identifier used in router filter names and result tables
+    name: str = "mitigation"
+
+    def __init__(self) -> None:
+        self.deployed_asns: set[int] = set()
+
+    @abc.abstractmethod
+    def deploy(self, network: Network, asns: Iterable[int]) -> None:
+        """Install the scheme on the given ASes of a packet-level network."""
+
+    def undeploy(self, network: Network) -> None:
+        """Remove this scheme's router filters."""
+        for asn in self.deployed_asns:
+            network.routers[asn].remove_filter(self.name)
+        self.deployed_asns.clear()
+
+    def fluid_filter(self) -> Optional[FluidFilter]:
+        """Fluid-model equivalent, when the scheme has one (else None)."""
+        return None
+
+    def is_deployed_at(self, asn: int) -> bool:
+        return asn in self.deployed_asns
+
+
+@dataclass(frozen=True)
+class MitigationReport:
+    """Uniform outcome record for the mitigation-effectiveness matrix (E2)."""
+
+    mitigation: str
+    attack_kind: str
+    victim_attack_fraction: float   # attack traffic reaching victim / sent toward it
+    legit_goodput: float            # legit delivered / legit sent
+    collateral_fraction: float      # legit killed by the mitigation itself
+    identified_true_sources: int    # ground-truth attack origins identified
+    identified_false_sources: int   # innocent parties identified as sources
+    notes: str = ""
+
+    def as_row(self) -> tuple:
+        return (
+            self.mitigation, self.attack_kind,
+            round(self.victim_attack_fraction, 3),
+            round(self.legit_goodput, 3),
+            round(self.collateral_fraction, 3),
+            self.identified_true_sources, self.identified_false_sources,
+            self.notes,
+        )
+
+
+def deployment_sample(topology: Topology, fraction: float,
+                      seed: int | np.random.Generator | None = None,
+                      roles: Sequence[ASRole] | None = None,
+                      always_include: Iterable[int] = ()) -> set[int]:
+    """Sample the ASes that deploy a scheme.
+
+    ``fraction`` of the eligible ASes (optionally restricted to ``roles``)
+    are drawn uniformly; ``always_include`` ASes are added unconditionally
+    (e.g. the victim's own ISP, which has every incentive to participate).
+    """
+    if not (0.0 <= fraction <= 1.0):
+        raise MitigationError(f"deployment fraction must be in [0,1], got {fraction}")
+    rng = derive_rng(seed, "deployment")
+    eligible = [
+        asn for asn in topology.as_numbers
+        if roles is None or topology.role_of(asn) in roles
+    ]
+    k = int(round(fraction * len(eligible)))
+    chosen: set[int] = set(always_include)
+    if k > 0 and eligible:
+        picked = rng.choice(len(eligible), size=min(k, len(eligible)), replace=False)
+        chosen.update(eligible[i] for i in picked)
+    return chosen

@@ -1,0 +1,327 @@
+"""IPv4 addressing: addresses, prefixes, longest-prefix-match tables and a
+per-AS address allocator.
+
+Addresses are plain 32-bit ints wrapped in a tiny value class, prefixes are
+``(base, length)`` pairs, and :class:`PrefixTable` is a binary trie giving
+longest-prefix match — the same primitive real routers and the paper's
+"officially registered to hold ... the IP address" ownership checks rely on.
+
+Traffic ownership (Sec. 4.1 of the paper) is *defined* over prefixes: a
+network user owns a packet iff its source or destination address lies in one
+of the user's registered prefixes.  Everything in :mod:`repro.core` builds on
+the matching semantics implemented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterable, Iterator, Optional, TypeVar
+
+from repro.errors import AddressError
+
+__all__ = ["IPv4Address", "Prefix", "PrefixTable", "AddressAllocator"]
+
+_MAX = 0xFFFFFFFF
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as an unsigned 32-bit integer.
+
+    >>> IPv4Address.parse("10.0.0.1").value
+    167772161
+    >>> str(IPv4Address(167772161))
+    '10.0.0.1'
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.value <= _MAX):
+            raise AddressError(f"address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation."""
+        parts = text.split(".")
+        if len(parts) != 4:
+            raise AddressError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                octet = int(part)
+            except ValueError as exc:
+                raise AddressError(f"bad octet in {text!r}") from exc
+            if not (0 <= octet <= 255):
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __int__(self) -> int:
+        return self.value
+
+
+def _as_int(addr: "IPv4Address | int | str") -> int:
+    if isinstance(addr, IPv4Address):
+        return addr.value
+    if isinstance(addr, str):
+        return IPv4Address.parse(addr).value
+    return int(addr)
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix ``base/length`` with a canonical (masked) base address.
+
+    >>> p = Prefix.parse("10.1.0.0/16")
+    >>> p.contains(IPv4Address.parse("10.1.2.3"))
+    True
+    >>> p.contains(IPv4Address.parse("10.2.0.0"))
+    False
+    """
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.length <= 32):
+            raise AddressError(f"prefix length out of range: {self.length}")
+        if not (0 <= self.base <= _MAX):
+            raise AddressError(f"prefix base out of range: {self.base:#x}")
+        if self.base & ~self.mask():
+            raise AddressError(
+                f"prefix base {IPv4Address(self.base)}/{self.length} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        if "/" not in text:
+            raise AddressError(f"missing '/length' in {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        try:
+            length = int(len_text)
+        except ValueError as exc:
+            raise AddressError(f"bad length in {text!r}") from exc
+        base = IPv4Address.parse(addr_text).value
+        mask = (0xFFFFFFFF << (32 - length)) & _MAX if length else 0
+        return cls(base & mask, length)
+
+    @classmethod
+    def make(cls, addr: "IPv4Address | int | str", length: int) -> "Prefix":
+        """Build a prefix containing ``addr``, masking host bits."""
+        mask = (0xFFFFFFFF << (32 - length)) & _MAX if length else 0
+        return cls(_as_int(addr) & mask, length)
+
+    def mask(self) -> int:
+        """The netmask as a 32-bit int."""
+        return (0xFFFFFFFF << (32 - self.length)) & _MAX if self.length else 0
+
+    def contains(self, addr: "IPv4Address | int | str") -> bool:
+        """True iff ``addr`` falls inside this prefix."""
+        return (_as_int(addr) & self.mask()) == self.base
+
+    def contains_prefix(self, other: "Prefix") -> bool:
+        """True iff ``other`` is equal to or more specific than this prefix."""
+        return other.length >= self.length and (other.base & self.mask()) == self.base
+
+    def overlaps(self, other: "Prefix") -> bool:
+        """True iff the two prefixes share any address."""
+        return self.contains_prefix(other) or other.contains_prefix(self)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> IPv4Address:
+        return IPv4Address(self.base)
+
+    @property
+    def last(self) -> IPv4Address:
+        return IPv4Address(self.base | ~self.mask() & _MAX)
+
+    def addresses(self) -> Iterator[IPv4Address]:
+        """Iterate all addresses in the prefix (careful with short prefixes)."""
+        for v in range(self.base, self.base + self.num_addresses):
+            yield IPv4Address(v)
+
+    def subnets(self, new_length: int) -> Iterator["Prefix"]:
+        """Split into equal subnets of ``new_length``."""
+        if new_length < self.length or new_length > 32:
+            raise AddressError(f"cannot split /{self.length} into /{new_length}")
+        step = 1 << (32 - new_length)
+        for base in range(self.base, self.base + self.num_addresses, step):
+            yield Prefix(base, new_length)
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self.base)}/{self.length}"
+
+
+class _TrieNode(Generic[T]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional[_TrieNode[T]]] = [None, None]
+        self.value: Optional[T] = None
+        self.has_value = False
+
+
+class PrefixTable(Generic[T]):
+    """Binary trie mapping prefixes to values with longest-prefix match.
+
+    The workhorse behind routing tables, ownership registries, and the
+    adaptive device's "is this packet owned by a registered user?" redirect
+    decision (paper Sec. 4.1/Fig. 2).
+
+    >>> t = PrefixTable()
+    >>> t.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+    >>> t.insert(Prefix.parse("10.1.0.0/16"), "fine")
+    >>> t.lookup(IPv4Address.parse("10.1.2.3"))
+    'fine'
+    >>> t.lookup(IPv4Address.parse("10.9.0.1"))
+    'coarse'
+    """
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[T] = _TrieNode()
+        self._size = 0
+
+    def insert(self, prefix: Prefix, value: T) -> None:
+        """Insert or replace the value for an exact prefix."""
+        node = self._root
+        for i in range(prefix.length):
+            bit = (prefix.base >> (31 - i)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                nxt = _TrieNode()
+                node.children[bit] = nxt
+            node = nxt
+        if not node.has_value:
+            self._size += 1
+        node.value = value
+        node.has_value = True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove an exact prefix; returns True if it was present."""
+        node = self._root
+        for i in range(prefix.length):
+            bit = (prefix.base >> (31 - i)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                return False
+            node = nxt
+        if node.has_value:
+            node.has_value = False
+            node.value = None
+            self._size -= 1
+            return True
+        return False
+
+    def lookup(self, addr: "IPv4Address | int | str") -> Optional[T]:
+        """Longest-prefix-match lookup; None when nothing matches."""
+        value = self._root.value if self._root.has_value else None
+        node = self._root
+        a = _as_int(addr)
+        for i in range(32):
+            node = node.children[(a >> (31 - i)) & 1]  # type: ignore[assignment]
+            if node is None:
+                break
+            if node.has_value:
+                value = node.value
+        return value
+
+    def lookup_exact(self, prefix: Prefix) -> Optional[T]:
+        """Exact-prefix lookup (no LPM)."""
+        node = self._root
+        for i in range(prefix.length):
+            bit = (prefix.base >> (31 - i)) & 1
+            nxt = node.children[bit]
+            if nxt is None:
+                return None
+            node = nxt
+        return node.value if node.has_value else None
+
+    def items(self) -> Iterator[tuple[Prefix, T]]:
+        """Iterate all (prefix, value) pairs in trie order."""
+        stack: list[tuple[_TrieNode[T], int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, base, depth = stack.pop()
+            if node.has_value:
+                yield Prefix(base, depth), node.value  # type: ignore[misc]
+            for bit in (1, 0):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((child, base | (bit << (31 - depth)), depth + 1))
+
+    def __contains__(self, addr: "IPv4Address | int | str") -> bool:
+        return self.lookup(addr) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class AddressAllocator:
+    """Hands out disjoint prefixes and host addresses from a super-block.
+
+    Each AS in a topology receives one prefix; hosts inside the AS receive
+    consecutive addresses from it.  Mirrors how RIRs delegate blocks, which
+    is exactly the database the paper's TCSP queries (Fig. 4, "Internet
+    number authority").
+    """
+
+    def __init__(self, block: Prefix | str = "10.0.0.0/8") -> None:
+        self.block = Prefix.parse(block) if isinstance(block, str) else block
+        self._next = self.block.base
+        self._allocated: list[Prefix] = []
+
+    def allocate_prefix(self, length: int = 24) -> Prefix:
+        """Allocate the next available prefix of the given length."""
+        if length < self.block.length:
+            raise AddressError(f"/{length} larger than pool {self.block}")
+        step = 1 << (32 - length)
+        base = (self._next + step - 1) & ~(step - 1)  # align up
+        if base + step > self.block.base + self.block.num_addresses:
+            raise AddressError(f"pool {self.block} exhausted")
+        self._next = base + step
+        prefix = Prefix(base, length)
+        self._allocated.append(prefix)
+        return prefix
+
+    @property
+    def allocated(self) -> list[Prefix]:
+        return list(self._allocated)
+
+
+class HostAddressPool:
+    """Sequential host addresses within one prefix (skipping the base)."""
+
+    def __init__(self, prefix: Prefix) -> None:
+        self.prefix = prefix
+        self._next = prefix.base + 1
+
+    def next_address(self) -> IPv4Address:
+        """Allocate the next host address in the prefix."""
+        if self._next > int(self.prefix.last):
+            raise AddressError(f"prefix {self.prefix} has no free host addresses")
+        addr = IPv4Address(self._next)
+        self._next += 1
+        return addr
+
+
+def summarize(prefixes: Iterable[Prefix]) -> list[Prefix]:
+    """Remove prefixes covered by shorter ones in the input.
+
+    Used when registering ownership: ``10.0.0.0/8`` subsumes ``10.1.0.0/16``.
+    """
+    result: list[Prefix] = []
+    for p in sorted(set(prefixes), key=lambda q: (q.length, q.base)):
+        if not any(existing.contains_prefix(p) for existing in result):
+            result.append(p)
+    return result

@@ -1,0 +1,126 @@
+"""Unidirectional links with bandwidth, propagation delay and a drop-tail
+byte queue.
+
+The queue is the *fluid-drain FIFO* model: backlog (in bytes) drains at line
+rate; a packet arriving when backlog + size exceeds the buffer is dropped.
+This yields exact FIFO departure times without per-byte events — the
+standard scalable formulation for event-driven network simulators.
+
+Link drop statistics also feed the pushback baseline ("observing packet drop
+statistics in individual routers", Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+from repro.util.stats import WindowedCounter
+from repro.util.units import BITS_PER_BYTE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.net.simulator import Simulator
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of an AS-AS (or host-AS) adjacency.
+
+    Parameters
+    ----------
+    src, dst:
+        Endpoint nodes; delivery calls ``dst.receive(packet, link)``.
+    bandwidth:
+        Line rate in bits/second.
+    delay:
+        Propagation delay in seconds.
+    buffer_bytes:
+        Drop-tail queue size in bytes.
+    """
+
+    __slots__ = (
+        "src", "dst", "bandwidth", "delay", "buffer_bytes",
+        "_backlog", "_last_update",
+        "tx_packets", "tx_bytes", "dropped_packets", "dropped_bytes",
+        "drop_window", "arrival_window", "drop_log",
+    )
+
+    def __init__(self, src: "Node", dst: "Node", bandwidth: float,
+                 delay: float, buffer_bytes: int = 64_000,
+                 stats_window: float = 1.0) -> None:
+        if bandwidth <= 0 or delay < 0 or buffer_bytes <= 0:
+            raise SimulationError(
+                f"bad link parameters: bw={bandwidth}, delay={delay}, buf={buffer_bytes}"
+            )
+        self.src = src
+        self.dst = dst
+        self.bandwidth = float(bandwidth)
+        self.delay = float(delay)
+        self.buffer_bytes = int(buffer_bytes)
+        self._backlog = 0.0
+        self._last_update = 0.0
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        # sliding windows for congestion detection (pushback) and stats
+        self.drop_window = WindowedCounter(stats_window)
+        self.arrival_window = WindowedCounter(stats_window)
+        # recent drops as (time, packet) — pushback classifies these
+        self.drop_log: list[tuple[float, Packet]] = []
+
+    def _drain(self, now: float) -> None:
+        if now > self._last_update:
+            self._backlog = max(
+                0.0, self._backlog - (now - self._last_update) * self.bandwidth / BITS_PER_BYTE
+            )
+            self._last_update = now
+
+    @property
+    def name(self) -> str:
+        return f"{self.src.name}->{self.dst.name}"
+
+    def queue_bytes(self, now: float) -> float:
+        """Current backlog in bytes."""
+        self._drain(now)
+        return self._backlog
+
+    def utilization(self, now: float) -> float:
+        """Arrival rate over the stats window divided by capacity (can be > 1)."""
+        return (self.arrival_window.rate(now) * BITS_PER_BYTE) / self.bandwidth
+
+    def drop_rate(self, now: float) -> float:
+        """Dropped bytes/second over the stats window."""
+        return self.drop_window.rate(now)
+
+    def send(self, packet: Packet, sim: "Simulator") -> bool:
+        """Enqueue ``packet`` for transmission; returns False on tail drop."""
+        now = sim.now
+        self._drain(now)
+        self.arrival_window.add(now, packet.size)
+        if self._backlog + packet.size > self.buffer_bytes:
+            self.dropped_packets += 1
+            self.dropped_bytes += packet.size
+            self.drop_window.add(now, packet.size)
+            self.drop_log.append((now, packet))
+            if len(self.drop_log) > 10_000:  # bound memory in long floods
+                del self.drop_log[:5_000]
+            return False
+        self._backlog += packet.size
+        serialization = self._backlog * BITS_PER_BYTE / self.bandwidth
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        sim.schedule(serialization + self.delay, self.dst.receive, packet, self)
+        return True
+
+    def reset_stats(self) -> None:
+        """Zero all counters (between experiment phases)."""
+        self.tx_packets = self.tx_bytes = 0
+        self.dropped_packets = self.dropped_bytes = 0
+        self.drop_log.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.bandwidth/1e6:.1f} Mbit/s)"

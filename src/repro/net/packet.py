@@ -1,0 +1,178 @@
+"""Packet model: IP header plus the TCP/UDP/ICMP fields the paper's
+components match on ("rules that match traffic by header fields, payload (or
+payload hashes), or timing characteristics", Sec. 4.2).
+
+A packet carries *ground truth* that the simulated network never gets to see
+— ``true_origin`` (the node that really generated it) and ``spoofed`` — so
+experiments can measure how well each mitigation identifies attack sources
+(the paper's central argument about reflector attacks hinges on this
+distinction).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.net.addressing import IPv4Address
+
+__all__ = ["Protocol", "TCPFlags", "ICMPType", "Packet"]
+
+_packet_ids = itertools.count(1)
+
+DEFAULT_TTL = 64
+IP_HEADER_BYTES = 20
+
+
+class Protocol(enum.Enum):
+    """IP protocol numbers used in the simulations."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class TCPFlags(enum.Flag):
+    """TCP flag bits relevant to the attack scenarios."""
+
+    NONE = 0
+    SYN = enum.auto()
+    ACK = enum.auto()
+    RST = enum.auto()
+    FIN = enum.auto()
+
+    @property
+    def is_syn(self) -> bool:
+        return bool(self & TCPFlags.SYN) and not bool(self & TCPFlags.ACK)
+
+    @property
+    def is_synack(self) -> bool:
+        return bool(self & TCPFlags.SYN) and bool(self & TCPFlags.ACK)
+
+
+class ICMPType(enum.Enum):
+    """ICMP message types named in the paper (Sec. 2.1, 4.3)."""
+
+    ECHO_REQUEST = 8
+    ECHO_REPLY = 0
+    HOST_UNREACHABLE = 3
+    TIME_EXCEEDED = 11
+
+
+@dataclass
+class Packet:
+    """A simulated IP packet.
+
+    Header fields (visible to the network and to adaptive devices):
+
+    * ``src``/``dst`` — IPv4 addresses,
+    * ``ttl`` — decremented per hop, packet dropped at 0,
+    * ``proto`` + ``sport``/``dport``/``flags``/``icmp_type``,
+    * ``size`` — total bytes on the wire (headers + payload),
+    * ``payload_digest`` — hash of the payload; components may match on it
+      and the payload scrubber may delete the payload (size shrinks).
+
+    Ground-truth fields (visible only to the experiment harness):
+
+    * ``true_origin`` — identifier of the node that generated the packet,
+    * ``spoofed`` — whether ``src`` was forged,
+    * ``kind`` — free-form label ("legit", "attack", "reflected", ...) used
+      for goodput/collateral accounting.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    proto: Protocol = Protocol.UDP
+    size: int = 512
+    ttl: int = DEFAULT_TTL
+    sport: int = 0
+    dport: int = 0
+    flags: TCPFlags = TCPFlags.NONE
+    icmp_type: Optional[ICMPType] = None
+    payload_digest: bytes = b""
+    # --- ground truth (never consulted by network elements) ---
+    true_origin: Optional[str] = None
+    spoofed: bool = False
+    kind: str = "legit"
+    flow_id: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+    # --- traceback support: probabilistic packet marking writes here ---
+    marking: Optional[tuple[str, str, int]] = None
+    # --- overlay/i3 indirection: ultimate destination carried end-to-end ---
+    overlay_dst: Optional[IPv4Address] = None
+
+    def __post_init__(self) -> None:
+        if self.size < IP_HEADER_BYTES:
+            self.size = IP_HEADER_BYTES
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of payload, i.e. size beyond the IP header."""
+        return max(0, self.size - IP_HEADER_BYTES)
+
+    def copy(self, **changes) -> "Packet":
+        """A copy with a fresh uid (and any field overrides)."""
+        changes.setdefault("uid", next(_packet_ids))
+        return replace(self, **changes)
+
+    def digest(self) -> bytes:
+        """SPIE-style packet digest over the invariant header fields.
+
+        Real SPIE hashes the first invariant 28 bytes of a packet; we hash
+        the fields that survive forwarding unchanged (everything except TTL
+        and the marking field).
+        """
+        h = hashlib.blake2b(digest_size=8)
+        h.update(int(self.src).to_bytes(4, "big"))
+        h.update(int(self.dst).to_bytes(4, "big"))
+        h.update(bytes([self.proto.value]))
+        h.update(self.sport.to_bytes(2, "big"))
+        h.update(self.dport.to_bytes(2, "big"))
+        h.update(self.flags.value.to_bytes(2, "big"))
+        h.update(self.size.to_bytes(4, "big"))
+        h.update(self.uid.to_bytes(8, "big"))
+        h.update(self.payload_digest)
+        return h.digest()
+
+    @classmethod
+    def tcp_syn(cls, src: IPv4Address, dst: IPv4Address, dport: int = 80, **kw) -> "Packet":
+        """A minimal TCP SYN (the reflector-attack request of Fig. 1)."""
+        kw.setdefault("size", 40)
+        return cls(src=src, dst=dst, proto=Protocol.TCP, flags=TCPFlags.SYN, dport=dport, **kw)
+
+    @classmethod
+    def tcp_synack(cls, src: IPv4Address, dst: IPv4Address, sport: int = 80, **kw) -> "Packet":
+        """The SYN/ACK a reflector returns toward the (spoofed) victim."""
+        kw.setdefault("size", 40)
+        return cls(
+            src=src, dst=dst, proto=Protocol.TCP,
+            flags=TCPFlags.SYN | TCPFlags.ACK, sport=sport, **kw,
+        )
+
+    @classmethod
+    def tcp_rst(cls, src: IPv4Address, dst: IPv4Address, **kw) -> "Packet":
+        """A TCP RST (protocol-misuse teardown attack, Sec. 2.1/4.3)."""
+        kw.setdefault("size", 40)
+        return cls(src=src, dst=dst, proto=Protocol.TCP, flags=TCPFlags.RST, **kw)
+
+    @classmethod
+    def icmp(cls, src: IPv4Address, dst: IPv4Address, icmp_type: ICMPType, **kw) -> "Packet":
+        """An ICMP message of the given type."""
+        kw.setdefault("size", 56)
+        return cls(src=src, dst=dst, proto=Protocol.ICMP, icmp_type=icmp_type, **kw)
+
+    @classmethod
+    def udp(cls, src: IPv4Address, dst: IPv4Address, dport: int = 53, size: int = 512, **kw) -> "Packet":
+        """A UDP datagram (flood / DNS-style traffic)."""
+        return cls(src=src, dst=dst, proto=Protocol.UDP, dport=dport, size=size, **kw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" {self.flags.name}" if self.proto is Protocol.TCP else ""
+        return (
+            f"Packet#{self.uid}({self.proto.name}{extra} {self.src}->{self.dst} "
+            f"size={self.size} ttl={self.ttl} kind={self.kind})"
+        )

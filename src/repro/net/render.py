@@ -1,0 +1,68 @@
+"""Topology rendering: Graphviz DOT export and terminal summaries.
+
+Visual inspection of the AS fabric (tiers, adjacency, deployments) is
+useful when debugging experiments; this module renders a
+:class:`~repro.net.topology.Topology` as Graphviz DOT text — feed it to
+``dot -Tsvg`` offline — or as a compact per-tier text summary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.net.topology import ASRole, Topology
+
+__all__ = ["to_dot", "tier_summary"]
+
+_ROLE_STYLE = {
+    ASRole.CORE: ("box", "#e8788a"),
+    ASRole.TRANSIT: ("ellipse", "#78a8e8"),
+    ASRole.STUB: ("circle", "#8ed0a0"),
+}
+
+
+def to_dot(topology: Topology, highlight: Iterable[int] = (),
+           title: Optional[str] = None, show_prefixes: bool = False) -> str:
+    """Graphviz DOT text for the AS graph.
+
+    ``highlight`` ASes (e.g. the ones a mitigation deployed to) get a bold
+    border; tiers get distinct shapes/colours.
+    """
+    highlighted = set(highlight)
+    lines = ["graph internet {"]
+    if title:
+        lines.append(f'  label="{title}";')
+    lines.append("  layout=neato; overlap=false; splines=true;")
+    for asn in topology.as_numbers:
+        role = topology.role_of(asn)
+        shape, color = _ROLE_STYLE[role]
+        label = f"AS{asn}"
+        if show_prefixes:
+            label += f"\\n{topology.prefix_of(asn)}"
+        attrs = [f'label="{label}"', f"shape={shape}",
+                 f'fillcolor="{color}"', "style=filled"]
+        if asn in highlighted:
+            attrs += ["penwidth=3", 'color="#303030"']
+        lines.append(f"  {asn} [{', '.join(attrs)}];")
+    for a, b in sorted(topology.graph.edges):
+        lines.append(f"  {a} -- {b};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def tier_summary(topology: Topology) -> str:
+    """Multi-line text summary of the topology's tier structure."""
+    lines = [f"{len(topology)} ASes, {topology.graph.number_of_edges()} links"]
+    for role in (ASRole.CORE, ASRole.TRANSIT, ASRole.STUB):
+        members = topology.by_role(role)
+        if not members:
+            lines.append(f"  {role.value:<8} none")
+            continue
+        degrees = sorted(topology.degree(a) for a in members)
+        lines.append(
+            f"  {role.value:<8} {len(members):>4} ASes, degree "
+            f"{degrees[0]}..{degrees[-1]} (median {degrees[len(degrees) // 2]})"
+        )
+    hosts = sum(len(topology.ases[a].hosts) for a in topology.as_numbers)
+    lines.append(f"  hosts    {hosts}")
+    return "\n".join(lines)

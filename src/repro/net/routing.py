@@ -1,0 +1,127 @@
+"""Shortest-path AS routing.
+
+Each router needs a next-hop table toward every destination AS.  We compute
+one BFS tree per destination (unweighted shortest paths — adequate for all
+the paper's placement arguments; BGP policy routing is a documented
+non-goal) and invert it into per-source next-hop maps.
+
+``RoutingTable`` additionally answers "which interface did this packet
+*legitimately* enter from?" — the information route-based packet filtering
+(Park & Lee [15], cited in Sec. 3.2) and the adaptive device's context-aware
+anti-spoofing rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.net.topology import Topology
+
+__all__ = ["RoutingTable", "build_routing", "as_path"]
+
+
+class RoutingTable:
+    """Per-AS next-hop map: destination ASN -> neighbour ASN.
+
+    A destination equal to the local ASN maps to itself (local delivery).
+    """
+
+    __slots__ = ("asn", "_next_hop", "_expected_in")
+
+    def __init__(self, asn: int, next_hop: dict[int, int],
+                 expected_in: dict[int, frozenset[int]]) -> None:
+        self.asn = asn
+        self._next_hop = next_hop
+        self._expected_in = expected_in
+
+    def next_hop(self, dst_asn: int) -> int:
+        """Neighbour toward ``dst_asn`` (== own asn for local delivery)."""
+        try:
+            return self._next_hop[dst_asn]
+        except KeyError as exc:
+            raise RoutingError(f"AS {self.asn}: no route to AS {dst_asn}") from exc
+
+    def has_route(self, dst_asn: int) -> bool:
+        return dst_asn in self._next_hop
+
+    def expected_ingress(self, src_asn: int) -> frozenset[int]:
+        """Neighbours from which traffic sourced at ``src_asn`` may arrive.
+
+        Under symmetric shortest-path routing this is the set of neighbours
+        that lie on a shortest path from ``src_asn`` to this AS.  Route-based
+        filtering drops packets arriving on other interfaces.
+        """
+        return self._expected_in.get(src_asn, frozenset())
+
+    def __len__(self) -> int:
+        return len(self._next_hop)
+
+
+def build_routing(topology: Topology) -> dict[int, RoutingTable]:
+    """Compute routing tables for every AS in ``topology``.
+
+    Complexity O(V * (V + E)) — one BFS per destination.  For each pair
+    (src, dst) the next hop is the BFS-tree parent of ``src`` in the tree
+    rooted at ``dst`` (ties broken by lowest neighbour ASN, so routing is
+    deterministic across runs).
+    """
+    g = topology.graph
+    nodes = sorted(g.nodes)
+    next_hop: dict[int, dict[int, int]] = {asn: {asn: asn} for asn in nodes}
+    # dist[dst][v]: hop count v -> dst, reused for expected-ingress sets.
+    dist: dict[int, dict[int, int]] = {}
+    for dst in nodes:
+        parent: dict[int, int] = {dst: dst}
+        d = {dst: 0}
+        frontier = [dst]
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in sorted(g.neighbors(u)):
+                    if v not in d:
+                        d[v] = d[u] + 1
+                        parent[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        if len(d) != len(nodes):
+            missing = set(nodes) - set(d)
+            raise RoutingError(f"graph disconnected: {sorted(missing)[:5]} unreachable from {dst}")
+        dist[dst] = d
+        for v in nodes:
+            if v != dst:
+                next_hop[v][dst] = parent[v]
+    # expected ingress: neighbour n of v is a valid ingress for source s iff
+    # dist(s, n) + 1 == dist(s, v)  (n lies on some shortest path s -> v).
+    tables: dict[int, RoutingTable] = {}
+    for v in nodes:
+        expected: dict[int, frozenset[int]] = {}
+        neighbors = sorted(g.neighbors(v))
+        for s in nodes:
+            if s == v:
+                continue
+            ds = dist[s]
+            expected[s] = frozenset(n for n in neighbors if ds[n] + 1 == ds[v])
+        tables[v] = RoutingTable(v, next_hop[v], expected)
+    return tables
+
+
+def as_path(tables: dict[int, RoutingTable], src_asn: int, dst_asn: int,
+            max_hops: int = 512) -> list[int]:
+    """The AS-level path ``[src, ..., dst]`` implied by the tables."""
+    path = [src_asn]
+    current = src_asn
+    while current != dst_asn:
+        current = tables[current].next_hop(dst_asn)
+        path.append(current)
+        if len(path) > max_hops:
+            raise RoutingError(f"routing loop between AS {src_asn} and AS {dst_asn}")
+    return path
+
+
+def paths_through(tables: dict[int, RoutingTable], pairs: list[tuple[int, int]]) -> Iterator[list[int]]:
+    """AS paths for many (src, dst) pairs."""
+    for s, d in pairs:
+        yield as_path(tables, s, d)

@@ -1,0 +1,125 @@
+"""Packet trace recording.
+
+Supports the forensic-analysis use cases of Sec. 4.4 ("sampling traces of
+suspicious network activity") and the network-debugging application: a
+:class:`TraceRecorder` can be attached to any router as a pass-through
+filter and records per-packet metadata, optionally sampled.  Traces can be
+exported/imported as JSON-lines for offline forensics tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.util.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+    from repro.net.node import Router
+
+__all__ = ["PacketRecord", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One captured packet observation at one router."""
+
+    time: float
+    asn: int
+    src: int
+    dst: int
+    proto: str
+    size: int
+    ttl: int
+    kind: str
+    uid: int
+    ingress_asn: Optional[int]
+
+
+class TraceRecorder:
+    """Pass-through observer recording (a sample of) forwarded packets.
+
+    Attach with ``router.add_filter(name, recorder)`` — it never drops.
+
+    >>> # recorder(packet, router, link, now) returns True always
+    """
+
+    def __init__(self, sample_rate: float = 1.0, max_records: int = 100_000,
+                 seed: int | None = None) -> None:
+        if not (0.0 <= sample_rate <= 1.0):
+            raise ValueError(f"sample_rate must be in [0,1], got {sample_rate}")
+        self.sample_rate = sample_rate
+        self.max_records = max_records
+        self.records: list[PacketRecord] = []
+        self.observed = 0
+        self._rng = derive_rng(seed, "trace")
+
+    def __call__(self, packet: Packet, router: "Router", link: Optional["Link"],
+                 now: float) -> bool:
+        self.observed += 1
+        if self.sample_rate >= 1.0 or self._rng.random() < self.sample_rate:
+            if len(self.records) < self.max_records:
+                ingress = None
+                if link is not None:
+                    src_node = link.src
+                    ingress = getattr(src_node, "asn", None) if hasattr(src_node, "links") else None
+                self.records.append(PacketRecord(
+                    time=now, asn=router.asn, src=int(packet.src), dst=int(packet.dst),
+                    proto=packet.proto.name, size=packet.size, ttl=packet.ttl,
+                    kind=packet.kind, uid=packet.uid, ingress_asn=ingress,
+                ))
+        return True
+
+    def by_uid(self, uid: int) -> list[PacketRecord]:
+        """All observations of one packet, time-ordered."""
+        return sorted((r for r in self.records if r.uid == uid), key=lambda r: r.time)
+
+    def unique_sources(self) -> set[int]:
+        """Distinct source address values seen (as claimed by the packets)."""
+        return {r.src for r in self.records}
+
+    def inter_arrival_times(self) -> np.ndarray:
+        """Deltas between consecutive observations (timing characteristics)."""
+        times = np.array(sorted(r.time for r in self.records))
+        return np.diff(times) if len(times) > 1 else np.array([])
+
+    def __iter__(self) -> Iterator[PacketRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------ persistence
+    def to_jsonl(self, path: str | Path) -> int:
+        """Write all records as JSON lines; returns the record count."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(dataclasses.asdict(record)) + "\n")
+        return len(self.records)
+
+    @staticmethod
+    def load_jsonl(path: str | Path) -> list[PacketRecord]:
+        """Read records previously written by :meth:`to_jsonl`."""
+        records = []
+        with Path(path).open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(PacketRecord(**json.loads(line)))
+        return records
+
+    @staticmethod
+    def merge(traces: Iterable["TraceRecorder"]) -> list[PacketRecord]:
+        """Time-ordered union of several recorders (multi-vantage forensics)."""
+        out: list[PacketRecord] = []
+        for trace in traces:
+            out.extend(trace.records)
+        return sorted(out, key=lambda r: (r.time, r.asn, r.uid))

@@ -1,0 +1,78 @@
+"""Bloom filter over byte strings.
+
+The SPIE hash-based traceback system [Snoeren et al., SIGCOMM'01] — which the
+paper cites both as related work (Sec. 3.1) and as an application of the
+traffic control service (Sec. 4.4, "storing a backlog of packet hashes") —
+stores packet digests in Bloom filters at each router.  This implementation
+is deterministic (seeded double hashing over blake2b) and supports the
+standard membership/saturation queries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter with ``k`` hash functions via double hashing.
+
+    >>> bf = BloomFilter(capacity=100, fp_rate=0.01)
+    >>> bf.add(b"packet-digest")
+    >>> b"packet-digest" in bf
+    True
+    >>> b"other" in bf
+    False
+    """
+
+    __slots__ = ("n_bits", "n_hashes", "_bits", "count", "_salt")
+
+    def __init__(self, capacity: int, fp_rate: float = 0.01, salt: int = 0) -> None:
+        if capacity <= 0 or not (0.0 < fp_rate < 1.0):
+            raise ReproError(f"invalid bloom parameters: capacity={capacity}, fp_rate={fp_rate}")
+        # Standard sizing: m = -n ln p / (ln 2)^2 ; k = m/n ln 2.
+        m = max(8, int(math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))))
+        self.n_bits = m
+        self.n_hashes = max(1, int(round(m / capacity * math.log(2))))
+        self._bits = np.zeros(m, dtype=bool)
+        self.count = 0
+        self._salt = salt
+
+    def _indices(self, item: bytes) -> np.ndarray:
+        digest = hashlib.blake2b(item, digest_size=16, salt=self._salt.to_bytes(8, "little")).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        ks = np.arange(self.n_hashes, dtype=np.uint64)
+        return ((h1 + ks * h2) % np.uint64(self.n_bits)).astype(np.int64)
+
+    def add(self, item: bytes) -> None:
+        """Insert ``item`` (no-op on the bit array if already present)."""
+        self._bits[self._indices(item)] = True
+        self.count += 1
+
+    def __contains__(self, item: bytes) -> bool:
+        return bool(self._bits[self._indices(item)].all())
+
+    @property
+    def saturation(self) -> float:
+        """Fraction of bits set — a proxy for the achieved false-positive rate."""
+        return float(self._bits.mean())
+
+    @property
+    def estimated_fp_rate(self) -> float:
+        """Estimated false-positive probability at the current saturation."""
+        return float(self.saturation**self.n_hashes)
+
+    def clear(self) -> None:
+        """Drop all entries (used when a router pages out an old digest window)."""
+        self._bits[:] = False
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BloomFilter(bits={self.n_bits}, k={self.n_hashes}, count={self.count})"

@@ -1,0 +1,88 @@
+"""Plain-text result tables.
+
+Every experiment in :mod:`repro.experiments` returns a :class:`Table`, the
+benchmark harness prints it, and EXPERIMENTS.md records it — one uniform
+"row/series" format mirroring how the paper's claims are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with named columns and formatted text rendering."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table '{self.title}' has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text footnote rendered under the table."""
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of the named column."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render an aligned monospace table."""
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        headers = [str(c) for c in self.columns]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+            for i in range(len(headers))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(str(c) for c in self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n*note: {note}*")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterable[list[Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)

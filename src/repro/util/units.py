@@ -1,0 +1,80 @@
+"""Physical units used throughout the simulator.
+
+Internally the simulator measures time in **seconds**, data in **bytes**,
+and rates in **bits per second**.  These helpers make call sites read like
+the quantities they carry (``Mbps(10)``, ``ms(5)``) instead of bare floats.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "bits",
+    "bytes_to_bits",
+    "Kbps",
+    "Mbps",
+    "Gbps",
+    "seconds",
+    "ms",
+    "us",
+    "fmt_rate",
+    "fmt_bytes",
+]
+
+BITS_PER_BYTE = 8
+
+
+def bits(n: float) -> float:
+    """A rate of ``n`` bits per second."""
+    return float(n)
+
+
+def bytes_to_bits(n: float) -> float:
+    """Convert a byte count to bits."""
+    return float(n) * BITS_PER_BYTE
+
+
+def Kbps(n: float) -> float:
+    """A rate of ``n`` kilobits per second."""
+    return float(n) * 1e3
+
+
+def Mbps(n: float) -> float:
+    """A rate of ``n`` megabits per second."""
+    return float(n) * 1e6
+
+
+def Gbps(n: float) -> float:
+    """A rate of ``n`` gigabits per second."""
+    return float(n) * 1e9
+
+
+def seconds(n: float) -> float:
+    """A duration of ``n`` seconds."""
+    return float(n)
+
+
+def ms(n: float) -> float:
+    """A duration of ``n`` milliseconds."""
+    return float(n) * 1e-3
+
+
+def us(n: float) -> float:
+    """A duration of ``n`` microseconds."""
+    return float(n) * 1e-6
+
+
+def fmt_rate(bps: float) -> str:
+    """Human-readable rate, e.g. ``fmt_rate(2.5e6) == '2.50 Mbit/s'``."""
+    for factor, unit in ((1e9, "Gbit/s"), (1e6, "Mbit/s"), (1e3, "kbit/s")):
+        if abs(bps) >= factor:
+            return f"{bps / factor:.2f} {unit}"
+    return f"{bps:.0f} bit/s"
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count, e.g. ``fmt_bytes(2048) == '2.0 KiB'``."""
+    for factor, unit in ((1024**3, "GiB"), (1024**2, "MiB"), (1024, "KiB")):
+        if abs(n) >= factor:
+            return f"{n / factor:.1f} {unit}"
+    return f"{n:.0f} B"

@@ -1,0 +1,93 @@
+"""Tests for the distributed traffic-statistics application."""
+
+import pytest
+
+from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core.apps import DistributedStatisticsApp
+from repro.net import Network, Packet, TopologyBuilder
+
+
+def world(seed=31):
+    net = Network(TopologyBuilder.hierarchical(2, 2, 4, seed=seed))
+    stubs = net.topology.stub_ases
+    site = net.add_host(stubs[0])
+    clients = [net.add_host(a) for a in stubs[1:4]]
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    tcsp.contract_isp("isp", net.topology.as_numbers)
+    prefix = net.topology.prefix_of(site.asn)
+    authority.record_allocation(prefix, "site-co")
+    user, cert = tcsp.register_user("site-co", [prefix])
+    svc = TrafficControlService(tcsp, user, cert)
+    app = DistributedStatisticsApp(svc)
+    return net, site, clients, app
+
+
+class TestDistributedStatistics:
+    def test_traffic_matrix_by_source_as(self):
+        net, site, clients, app = world()
+        app.deploy(DeploymentScope.explicit([site.asn]))
+        for i, client in enumerate(clients):
+            for _ in range(i + 1):
+                client.send(Packet.udp(client.address, site.address, size=100))
+        net.run()
+        report = app.report(at_asn=site.asn)
+        assert report.packets_by_src_asn == {
+            clients[0].asn: 1, clients[1].asn: 2, clients[2].asn: 3,
+        }
+        assert report.packets_by_proto == {"UDP": 6}
+
+    def test_top_sources(self):
+        net, site, clients, app = world()
+        app.deploy(DeploymentScope.explicit([site.asn]))
+        for _ in range(5):
+            clients[2].send(Packet.udp(clients[2].address, site.address, size=1000))
+        clients[0].send(Packet.udp(clients[0].address, site.address, size=100))
+        net.run()
+        report = app.report(at_asn=site.asn)
+        top = report.top_sources(1)
+        assert top[0][0] == clients[2].asn
+        assert top[0][1] == 5000
+
+    def test_rate_estimation(self):
+        net, site, clients, app = world()
+        app.deploy(DeploymentScope.explicit([site.asn]))
+        for i in range(11):
+            net.sim.schedule_at(i * 0.1, clients[0].send,
+                                Packet.udp(clients[0].address, site.address,
+                                           size=125))
+        net.run()
+        report = app.report(at_asn=site.asn)
+        # 11 packets x 125 B over ~1 s observation window ~ 11 kbit/s
+        assert report.rate_bps() == pytest.approx(11_000, rel=0.15)
+        assert report.rate_bps(clients[0].asn) == report.rate_bps()
+        assert report.rate_bps(clients[1].asn) == 0.0
+
+    def test_global_view_counts_observation_points(self):
+        net, site, clients, app = world()
+        app.deploy(DeploymentScope.everywhere())
+        clients[0].send(Packet.udp(clients[0].address, site.address))
+        net.run()
+        report = app.report()
+        # every AS on the client->site path observed the packet
+        path_len = len(net.path(clients[0].asn, site.asn))
+        assert report.observation_points == path_len
+        assert report.packets_by_proto["UDP"] == path_len
+
+    def test_scope_confinement_other_traffic_invisible(self):
+        net, site, clients, app = world()
+        app.deploy(DeploymentScope.everywhere())
+        # traffic between two third parties must never appear in the stats
+        clients[0].send(Packet.udp(clients[0].address, clients[1].address))
+        net.run()
+        report = app.report()
+        assert report.observation_points == 0
+        assert not report.packets_by_src_asn
+
+    def test_empty_report(self):
+        net, site, clients, app = world()
+        app.deploy(DeploymentScope.explicit([site.asn]))
+        report = app.report()
+        assert report.duration == 0.0
+        assert report.rate_bps() == 0.0
+        assert report.top_sources() == []

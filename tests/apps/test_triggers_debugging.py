@@ -1,0 +1,140 @@
+"""Tests for the automated-reaction and network-debugging apps."""
+
+import math
+
+import pytest
+
+from repro.attack import AttackScenario, DirectFlood, ScenarioConfig
+from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core.apps import AutoReactionApp, NetworkDebuggingApp
+from repro.net import LinkParams, Network, Packet, TopologyBuilder
+from repro.util.units import Mbps, ms
+
+
+def service_for(net, asn, user_id="victim-co"):
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    nms = tcsp.contract_isp("isp-all", net.topology.as_numbers)
+    prefix = net.topology.prefix_of(asn)
+    authority.record_allocation(prefix, user_id)
+    user, cert = tcsp.register_user(user_id, [prefix])
+    return TrafficControlService(tcsp, user, cert, home_nms=nms)
+
+
+class TestAutoReaction:
+    def _world(self, threshold=100.0, limit_bps=1e5):
+        net = Network(TopologyBuilder.hierarchical(2, 2, 5, seed=8))
+        stubs = net.topology.stub_ases
+        victim = net.add_host(stubs[0])
+        attacker = net.add_host(stubs[1])
+        svc = service_for(net, victim.asn)
+        app = AutoReactionApp(svc, threshold_pps=threshold, limit_bps=limit_bps)
+        app.deploy(DeploymentScope.explicit([victim.asn]))
+        return net, victim, attacker, app
+
+    def test_trigger_fires_under_attack_and_limits(self):
+        net, victim, attacker, app = self._world()
+        DirectFlood(net, [attacker], victim, rate_pps=2000.0, duration=0.5,
+                    spoof="none", seed=1).launch()
+        net.run()
+        assert app.fired >= 1
+        assert app.limited_packets() > 0
+        delay = app.detection_delay(attack_start=0.0)
+        assert delay is not None and delay < 0.5
+
+    def test_no_firing_under_normal_load(self):
+        net, victim, attacker, app = self._world(threshold=500.0)
+        client = net.add_host(net.topology.stub_ases[2])
+        for i in range(10):
+            net.sim.schedule_at(i * 0.05, client.send,
+                                Packet.udp(client.address, victim.address))
+        net.run()
+        assert app.fired == 0
+        assert app.detection_delay(0.0) is None
+        assert victim.received_packets == 10  # limiter never engaged
+
+    def test_reaction_reduces_attack_delivery(self):
+        net_base = Network(TopologyBuilder.hierarchical(2, 2, 5, seed=8))
+        stubs = net_base.topology.stub_ases
+        victim_b = net_base.add_host(stubs[0])
+        attacker_b = net_base.add_host(stubs[1])
+        DirectFlood(net_base, [attacker_b], victim_b, rate_pps=2000.0,
+                    duration=0.5, spoof="none", seed=1).launch()
+        net_base.run()
+        baseline = victim_b.received_by_kind["attack"]
+
+        net, victim, attacker, app = self._world(limit_bps=8e4)
+        DirectFlood(net, [attacker], victim, rate_pps=2000.0, duration=0.5,
+                    spoof="none", seed=1).launch()
+        net.run()
+        assert victim.received_by_kind["attack"] < baseline
+
+
+class TestNetworkDebugging:
+    def test_segment_delay_estimation(self):
+        net = Network(TopologyBuilder.line(4))
+        owner_asn = 0
+        svc = service_for(net, owner_asn)
+        app = NetworkDebuggingApp(svc)
+        app.deploy(DeploymentScope.everywhere())
+        src = net.add_host(0)
+        dst = net.add_host(3)
+        for i in range(20):
+            net.sim.schedule_at(i * 0.01, src.send,
+                                Packet.udp(src.address, dst.address, size=100))
+        net.run()
+        est = app.estimate_segment(1, 2)
+        assert est is not None
+        assert est.samples == 20
+        assert est.loss_fraction == 0.0
+        # transit link delay is 8 ms (transit tier) + serialization
+        assert 0.005 < est.mean_delay < 0.05
+
+    def test_loss_estimation_with_droppy_link(self):
+        net = Network(TopologyBuilder.line(4))
+        # squeeze the middle link so some probes die
+        link = net.link_between(1, 2)
+        link.bandwidth = 1e5  # 100 kbit/s: 200 B takes 16 ms to serialize
+        link.buffer_bytes = 500
+        svc = service_for(net, 0)
+        app = NetworkDebuggingApp(svc)
+        app.deploy(DeploymentScope.everywhere())
+        src = net.add_host(0, access=LinkParams(bandwidth=Mbps(1000),
+                                                delay=ms(1), buffer_bytes=10**7))
+        dst = net.add_host(3)
+        for i in range(50):
+            net.sim.schedule_at(i * 0.0001, src.send,
+                                Packet.udp(src.address, dst.address, size=200))
+        net.run()
+        est = app.estimate_segment(1, 2)
+        assert est is not None
+        assert est.loss_fraction > 0.0
+
+    def test_estimate_path(self):
+        net = Network(TopologyBuilder.line(5))
+        svc = service_for(net, 0)
+        app = NetworkDebuggingApp(svc)
+        app.deploy(DeploymentScope.everywhere())
+        src = net.add_host(0)
+        dst = net.add_host(4)
+        for i in range(5):
+            net.sim.schedule_at(i * 0.01, src.send,
+                                Packet.udp(src.address, dst.address))
+        net.run()
+        estimates = app.estimate_path(net.path(0, 4))
+        assert len(estimates) == 4
+        assert all(e.samples == 5 for e in estimates)
+
+    def test_unobserved_segment_returns_none(self):
+        net = Network(TopologyBuilder.line(3))
+        svc = service_for(net, 0)
+        app = NetworkDebuggingApp(svc)
+        app.deploy(DeploymentScope.explicit([0]))
+        assert app.estimate_segment(1, 2) is None
+
+    def test_no_probes_returns_none(self):
+        net = Network(TopologyBuilder.line(3))
+        svc = service_for(net, 0)
+        app = NetworkDebuggingApp(svc)
+        app.deploy(DeploymentScope.everywhere())
+        assert app.estimate_segment(0, 1) is None

@@ -1,0 +1,13 @@
+"""Test-suite configuration: stable hypothesis settings for CI."""
+
+from hypothesis import HealthCheck, settings
+
+# Experiments and simulators make individual examples comparatively slow;
+# disable wall-clock deadlines and the too-slow health check so the suite
+# is deterministic across machines and load conditions.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,291 @@
+"""Tests for the TCSP, ISP NMSes, deployment scoping and the service facade
+(paper Figs. 3-5, Sec. 5.1)."""
+
+import pytest
+
+from repro.core import (
+    ComponentGraph,
+    DeploymentScope,
+    NumberAuthority,
+    Tcsp,
+    TrafficControlService,
+)
+from repro.core.components import HeaderFilter, HeaderMatch, LoggerComponent
+from repro.errors import (
+    CertificateError,
+    ControlPlaneUnavailable,
+    DeploymentError,
+    RegistrationError,
+    ScopeViolation,
+)
+from repro.net import ASRole, Network, Packet, Protocol, TopologyBuilder
+
+
+def build_world(seed=1):
+    net = Network(TopologyBuilder.hierarchical(2, 2, 4, seed=seed))
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    return net, authority, tcsp
+
+
+def drop_udp_factory(device_ctx):
+    g = ComponentGraph("drop-udp")
+    g.add(HeaderFilter("f", HeaderMatch(proto=Protocol.UDP)))
+    return g
+
+
+def log_factory(device_ctx):
+    g = ComponentGraph("log")
+    g.add(LoggerComponent("log"))
+    return g
+
+
+class TestContracts:
+    def test_contract_creates_nms_with_devices(self):
+        net, authority, tcsp = build_world()
+        nms = tcsp.contract_isp("isp1", net.topology.stub_ases)
+        assert set(nms.devices) == set(net.topology.stub_ases)
+        assert all(net.routers[a].adaptive_device is not None
+                   for a in net.topology.stub_ases)
+
+    def test_duplicate_contract_rejected(self):
+        net, authority, tcsp = build_world()
+        tcsp.contract_isp("isp1", [0])
+        with pytest.raises(DeploymentError):
+            tcsp.contract_isp("isp1", [1])
+
+    def test_contracted_nmses_are_peered(self):
+        net, authority, tcsp = build_world()
+        a = tcsp.contract_isp("isp1", net.topology.stub_ases[:2])
+        b = tcsp.contract_isp("isp2", net.topology.stub_ases[2:4])
+        assert b in a.peers and a in b.peers
+
+    def test_covered_asns(self):
+        net, authority, tcsp = build_world()
+        tcsp.contract_isp("isp1", net.topology.stub_ases[:3])
+        assert tcsp.covered_asns() == set(net.topology.stub_ases[:3])
+
+
+class TestRegistration:
+    def test_fig4_workflow(self):
+        net, authority, tcsp = build_world()
+        prefix = net.topology.prefix_of(net.topology.stub_ases[0])
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        assert user.prefixes == [prefix]
+        tcsp.ca.verify(cert, net.sim.now)
+        assert tcsp.user("acme") is user
+
+    def test_unverified_identity_refused(self):
+        net, authority, tcsp = build_world()
+        prefix = net.topology.prefix_of(0)
+        authority.record_allocation(prefix, "acme")
+        with pytest.raises(RegistrationError):
+            tcsp.register_user("acme", [prefix], identity_verified=False)
+        assert tcsp.registrations_refused == 1
+
+    def test_ownership_check_refuses_imposters(self):
+        """The Fig. 4 'verifyOwnership' step: you cannot register someone
+        else's prefix."""
+        net, authority, tcsp = build_world()
+        prefix = net.topology.prefix_of(0)
+        authority.record_allocation(prefix, "acme")
+        with pytest.raises(RegistrationError):
+            tcsp.register_user("evil", [prefix])
+
+    def test_empty_prefix_list_refused(self):
+        net, authority, tcsp = build_world()
+        with pytest.raises(RegistrationError):
+            tcsp.register_user("acme", [])
+
+    def test_unknown_user_lookup(self):
+        net, authority, tcsp = build_world()
+        with pytest.raises(RegistrationError):
+            tcsp.user("ghost")
+
+
+class TestDeployment:
+    def _registered(self, seed=1):
+        net, authority, tcsp = build_world(seed)
+        nms = tcsp.contract_isp("isp1", net.topology.as_numbers)
+        victim_asn = net.topology.stub_ases[0]
+        prefix = net.topology.prefix_of(victim_asn)
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        return net, tcsp, nms, user, cert, victim_asn
+
+    def test_deploy_resolves_scope(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        result = tcsp.deploy_service(cert, DeploymentScope.stub_borders(),
+                                     dst_graph_factory=drop_udp_factory)
+        assert set(result["isp1"]) == set(net.topology.stub_ases)
+
+    def test_deploy_unregistered_user_refused(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        stranger_cert = tcsp.ca.issue("stranger", user.prefixes, now=net.sim.now)
+        with pytest.raises(RegistrationError):
+            tcsp.deploy_service(stranger_cert, DeploymentScope.everywhere(),
+                                dst_graph_factory=drop_udp_factory)
+
+    def test_nms_rejects_mismatched_certificate(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        other_cert = tcsp.ca.issue("other", user.prefixes, now=net.sim.now)
+        with pytest.raises(CertificateError):
+            nms.deploy(other_cert, user, [victim_asn],
+                       dst_graph_factory=drop_udp_factory)
+
+    def test_nms_rejects_prefix_outside_certificate(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        from repro.core import NetworkUser
+
+        greedy = NetworkUser("acme", prefixes=[net.topology.prefix_of(1)])
+        with pytest.raises(ScopeViolation):
+            nms.deploy(cert, greedy, [victim_asn],
+                       dst_graph_factory=drop_udp_factory)
+
+    def test_nms_attach_foreign_as_rejected(self):
+        net, tcsp, nms, *_ = self._registered()
+        from repro.core.nms import IspNms
+
+        other = IspNms("isp2", net, [0], ca=tcsp.ca)
+        with pytest.raises(DeploymentError):
+            other.attach_devices([1])
+
+    def test_deploy_installs_working_filters(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        tcsp.deploy_service(cert, DeploymentScope.everywhere(),
+                            dst_graph_factory=drop_udp_factory)
+        victim = net.add_host(victim_asn)
+        client = net.add_host(net.topology.stub_ases[1])
+        client.send(Packet.udp(client.address, victim.address))
+        client.send(Packet.tcp_syn(client.address, victim.address))
+        net.run()
+        assert victim.received_packets == 1  # only the TCP SYN survived
+
+    def test_activation_toggle(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        tcsp.deploy_service(cert, DeploymentScope.everywhere(),
+                            dst_graph_factory=drop_udp_factory)
+        touched = tcsp.set_active(cert, False)
+        assert touched == len(net.topology.as_numbers)
+        victim = net.add_host(victim_asn)
+        client = net.add_host(net.topology.stub_ases[1])
+        client.send(Packet.udp(client.address, victim.address))
+        net.run()
+        assert victim.received_packets == 1  # filter present but inactive
+
+    def test_read_logs_roundtrip(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        tcsp.deploy_service(cert, DeploymentScope.everywhere(),
+                            dst_graph_factory=log_factory)
+        victim = net.add_host(victim_asn)
+        client = net.add_host(net.topology.stub_ases[1])
+        client.send(Packet.udp(client.address, victim.address))
+        net.run()
+        entries = tcsp.read_logs(cert)
+        assert entries  # each on-path device logged the packet
+        assert all(e[4] == int(victim.address) for e in entries)
+
+    def test_rule_count_scales_with_deployment(self):
+        net, tcsp, nms, user, cert, victim_asn = self._registered()
+        assert tcsp.total_rule_count() == 0
+        tcsp.deploy_service(cert, DeploymentScope.stub_borders(),
+                            dst_graph_factory=drop_udp_factory)
+        assert tcsp.total_rule_count() == len(net.topology.stub_ases)
+
+
+class TestDeploymentScope:
+    def test_everywhere(self):
+        t = TopologyBuilder.hierarchical(seed=1)
+        assert DeploymentScope.everywhere().resolve(t) == set(t.as_numbers)
+
+    def test_stub_borders(self):
+        t = TopologyBuilder.hierarchical(seed=1)
+        assert DeploymentScope.stub_borders().resolve(t) == set(t.stub_ases)
+
+    def test_explicit(self):
+        t = TopologyBuilder.hierarchical(seed=1)
+        assert DeploymentScope.explicit([1, 2]).resolve(t) == {1, 2}
+
+    def test_fraction_sampling_deterministic(self):
+        t = TopologyBuilder.powerlaw(n=60, seed=2)
+        s = DeploymentScope(roles=(ASRole.STUB,), fraction=0.5, seed=7)
+        assert s.resolve(t) == s.resolve(t)
+        assert len(s.resolve(t)) == round(0.5 * len(t.stub_ases))
+
+    def test_exclude(self):
+        t = TopologyBuilder.hierarchical(seed=1)
+        scope = DeploymentScope(roles=(ASRole.STUB,),
+                                exclude=frozenset({t.stub_ases[0]}))
+        assert t.stub_ases[0] not in scope.resolve(t)
+
+    def test_unknown_as_rejected(self):
+        t = TopologyBuilder.star(3)
+        with pytest.raises(DeploymentError):
+            DeploymentScope.explicit([99]).resolve(t)
+
+    def test_bad_fraction(self):
+        t = TopologyBuilder.star(3)
+        with pytest.raises(DeploymentError):
+            DeploymentScope(fraction=1.5).resolve(t)
+
+
+class TestTcspResilience:
+    """Sec. 5.1: the direct NMS path when the TCSP is under DDoS (E7)."""
+
+    def _world(self):
+        net, authority, tcsp = build_world(seed=3)
+        nms = tcsp.contract_isp("isp1", net.topology.as_numbers)
+        victim_asn = net.topology.stub_ases[0]
+        prefix = net.topology.prefix_of(victim_asn)
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        svc = TrafficControlService(tcsp, user, cert, home_nms=nms)
+        return net, tcsp, nms, svc, victim_asn
+
+    def test_unreachable_tcsp_raises_without_fallback(self):
+        net, tcsp, nms, svc, victim_asn = self._world()
+        svc.home_nms = None
+        tcsp.reachable = False
+        with pytest.raises(ControlPlaneUnavailable):
+            svc.deploy(DeploymentScope.everywhere(),
+                       dst_graph_factory=drop_udp_factory)
+
+    def test_fallback_deploys_via_home_nms(self):
+        net, tcsp, nms, svc, victim_asn = self._world()
+        tcsp.reachable = False
+        result = svc.deploy(DeploymentScope.stub_borders(),
+                            dst_graph_factory=drop_udp_factory)
+        assert svc.fallback_used == 1
+        assert set(result["isp1"]) == set(net.topology.stub_ases)
+
+    def test_fallback_set_active_and_logs(self):
+        net, tcsp, nms, svc, victim_asn = self._world()
+        svc.deploy(DeploymentScope.everywhere(), dst_graph_factory=log_factory)
+        tcsp.reachable = False
+        assert svc.set_active(False) == len(net.topology.as_numbers)
+        assert svc.read_logs() == []
+        assert svc.fallback_used == 2
+
+    def test_forwarding_to_peer_nmses(self):
+        net, authority, tcsp = build_world(seed=4)
+        half = len(net.topology.as_numbers) // 2
+        nms1 = tcsp.contract_isp("isp1", net.topology.as_numbers[:half])
+        nms2 = tcsp.contract_isp("isp2", net.topology.as_numbers[half:])
+        victim_asn = net.topology.stub_ases[0]
+        prefix = net.topology.prefix_of(victim_asn)
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        svc = TrafficControlService(tcsp, user, cert, home_nms=nms1)
+        tcsp.reachable = False
+        result = svc.deploy(DeploymentScope.everywhere(),
+                            dst_graph_factory=drop_udp_factory)
+        configured = set(result["isp1"])
+        # the home NMS forwarded the config to its peer: full coverage
+        assert configured == set(net.topology.as_numbers)
+        assert nms2.deployments == 1
+
+    def test_deploy_requires_a_factory(self):
+        net, tcsp, nms, svc, victim_asn = self._world()
+        with pytest.raises(DeploymentError):
+            svc.deploy(DeploymentScope.everywhere())

@@ -1,0 +1,260 @@
+"""Tests for the adaptive device: redirect decision, two-stage processing,
+scope confinement, runtime safety containment."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveDevice,
+    ComponentGraph,
+    DeviceContext,
+    NetworkUser,
+    OwnershipRegistry,
+)
+from repro.core.components import (
+    Capabilities,
+    Component,
+    HeaderFilter,
+    HeaderMatch,
+    Verdict,
+)
+from repro.core.device import attach_device
+from repro.errors import DeploymentError, SafetyViolation, VettingError
+from repro.net import (
+    ASRole,
+    IPv4Address,
+    Network,
+    Packet,
+    Prefix,
+    Protocol,
+    TopologyBuilder,
+)
+
+A = IPv4Address.parse
+P = Prefix.parse
+
+
+def make_device(role=ASRole.STUB, strict=True):
+    registry = OwnershipRegistry()
+    acme = NetworkUser("acme", prefixes=[P("10.1.0.0/16")])
+    globex = NetworkUser("globex", prefixes=[P("10.2.0.0/16")])
+    registry.register(acme)
+    registry.register(globex)
+    ctx = DeviceContext(asn=7, role=role, local_prefix=P("10.7.0.0/16"))
+    return AdaptiveDevice(ctx, registry, strict=strict), acme, globex
+
+
+def drop_udp_graph(name="g"):
+    g = ComponentGraph(name)
+    g.add(HeaderFilter("udp-drop", HeaderMatch(proto=Protocol.UDP)))
+    return g
+
+
+class TestRedirectDecision:
+    def test_wants_only_owned_with_installed_service(self):
+        device, acme, globex = make_device()
+        device.install(acme, dst_graph=drop_udp_graph())
+        assert device.wants(Packet.udp(A("10.9.0.1"), A("10.1.0.1")))   # dst owned
+        assert device.wants(Packet.udp(A("10.1.0.1"), A("10.9.0.1")))   # src owned
+        assert not device.wants(Packet.udp(A("10.9.0.1"), A("10.8.0.1")))  # unowned
+        # globex is registered but has no service here
+        assert not device.wants(Packet.udp(A("10.9.0.1"), A("10.2.0.1")))
+
+    def test_unowned_traffic_never_reaches_graphs(self):
+        """Scope confinement is structural (Sec. 4.5)."""
+        device, acme, _ = make_device()
+        graph = drop_udp_graph()
+        device.install(acme, dst_graph=graph)
+        pkt = Packet.udp(A("10.8.0.1"), A("10.9.0.1"))
+        assert not device.wants(pkt)
+        out = device.process(pkt, now=0.0, ingress_asn=None)
+        assert out is pkt
+        assert graph.packets_in == 0
+
+
+class TestTwoStageProcessing:
+    def test_dst_stage_runs_for_destination_owner(self):
+        device, acme, _ = make_device()
+        device.install(acme, dst_graph=drop_udp_graph())
+        out = device.process(Packet.udp(A("10.9.0.1"), A("10.1.0.1")), 0.0, None)
+        assert out is None  # dropped by acme's dst stage
+
+    def test_src_stage_runs_for_source_owner(self):
+        device, acme, _ = make_device()
+        device.install(acme, src_graph=drop_udp_graph())
+        out = device.process(Packet.udp(A("10.1.0.1"), A("10.9.0.1")), 0.0, None)
+        assert out is None
+
+    def test_both_stages_in_order(self):
+        device, acme, globex = make_device()
+        order = []
+
+        class Tag(Component):
+            def process(self, packet, ctx):
+                order.append((self.name, ctx.stage, ctx.owner.user_id))
+                return Verdict.PASS
+
+        gs = ComponentGraph("src")
+        gs.add(Tag("src-tag"))
+        gd = ComponentGraph("dst")
+        gd.add(Tag("dst-tag"))
+        device.install(acme, src_graph=gs)
+        device.install(globex, dst_graph=gd)
+        pkt = Packet.udp(A("10.1.0.1"), A("10.2.0.1"))  # acme -> globex
+        out = device.process(pkt, 0.0, None)
+        assert out is pkt
+        assert order == [("src-tag", "source", "acme"),
+                         ("dst-tag", "dest", "globex")]
+
+    def test_src_drop_prevents_dst_stage(self):
+        device, acme, globex = make_device()
+        hits = []
+
+        class Spy(Component):
+            def process(self, packet, ctx):
+                hits.append(ctx.stage)
+                return Verdict.PASS
+
+        device.install(acme, src_graph=drop_udp_graph("src"))
+        spy_graph = ComponentGraph("dst")
+        spy_graph.add(Spy("spy"))
+        device.install(globex, dst_graph=spy_graph)
+        out = device.process(Packet.udp(A("10.1.0.1"), A("10.2.0.1")), 0.0, None)
+        assert out is None
+        assert hits == []
+
+    def test_inactive_service_is_noop(self):
+        device, acme, _ = make_device()
+        device.install(acme, dst_graph=drop_udp_graph())
+        device.set_active("acme", False)
+        pkt = Packet.udp(A("10.9.0.1"), A("10.1.0.1"))
+        assert device.process(pkt, 0.0, None) is pkt
+        device.set_active("acme", True)
+        assert device.process(pkt.copy(), 0.0, None) is None
+
+    def test_set_active_unknown_user(self):
+        device, *_ = make_device()
+        with pytest.raises(DeploymentError):
+            device.set_active("nobody", True)
+
+
+class TestInstallUninstall:
+    def test_install_requires_a_graph(self):
+        device, acme, _ = make_device()
+        with pytest.raises(DeploymentError):
+            device.install(acme)
+
+    def test_install_vets_graphs(self):
+        device, acme, _ = make_device()
+
+        class Amplifier(Component):
+            capabilities = Capabilities(max_outputs_per_input=10)
+
+            def process(self, packet, ctx):
+                return Verdict.PASS
+
+        bad = ComponentGraph("bad")
+        bad.add(Amplifier("amp"))
+        with pytest.raises(VettingError):
+            device.install(acme, dst_graph=bad)
+        assert "acme" not in device.services
+
+    def test_reinstall_updates_stage(self):
+        device, acme, _ = make_device()
+        device.install(acme, dst_graph=drop_udp_graph("v1"))
+        device.install(acme, src_graph=drop_udp_graph("v2"))
+        inst = device.services["acme"]
+        assert inst.dst_graph.name == "v1"
+        assert inst.src_graph.name == "v2"
+
+    def test_uninstall(self):
+        device, acme, _ = make_device()
+        device.install(acme, dst_graph=drop_udp_graph())
+        assert device.uninstall("acme")
+        assert not device.uninstall("acme")
+
+    def test_rule_count(self):
+        device, acme, globex = make_device()
+        device.install(acme, src_graph=drop_udp_graph(), dst_graph=drop_udp_graph())
+        device.install(globex, dst_graph=drop_udp_graph())
+        assert device.rule_count() == 3
+
+
+class LyingMutator(Component):
+    """Declares itself benign but rewrites the destination address."""
+
+    capabilities = Capabilities()
+
+    def process(self, packet, ctx):
+        packet.dst = A("10.9.9.9")
+        return Verdict.PASS
+
+
+class TestRuntimeSafety:
+    def test_strict_device_raises_and_disables(self):
+        device, acme, _ = make_device(strict=True)
+        g = ComponentGraph("lying")
+        g.add(LyingMutator("liar"))
+        device.install(acme, dst_graph=g)
+        pkt = Packet.udp(A("10.8.0.1"), A("10.1.0.1"))
+        with pytest.raises(SafetyViolation):
+            device.process(pkt, 0.0, None)
+        assert device.services["acme"].disabled_for_violation
+        assert device.safety_disables == 1
+        # service is now contained: packets pass untouched
+        pkt2 = Packet.udp(A("10.8.0.1"), A("10.1.0.1"))
+        assert device.process(pkt2, 0.0, None) is pkt2
+
+    def test_containment_device_restores_packet(self):
+        device, acme, _ = make_device(strict=False)
+        g = ComponentGraph("lying")
+        g.add(LyingMutator("liar"))
+        device.install(acme, dst_graph=g)
+        original_dst = A("10.1.0.1")
+        pkt = Packet.udp(A("10.8.0.1"), original_dst)
+        out = device.process(pkt, 0.0, None)
+        assert out is pkt
+        assert out.dst == original_dst  # mutation undone
+        assert device.services["acme"].disabled_for_violation
+
+    def test_reinstall_clears_violation_flag(self):
+        device, acme, _ = make_device(strict=False)
+        g = ComponentGraph("lying")
+        g.add(LyingMutator("liar"))
+        device.install(acme, dst_graph=g)
+        device.process(Packet.udp(A("10.8.0.1"), A("10.1.0.1")), 0.0, None)
+        assert device.services["acme"].disabled_for_violation
+        device.install(acme, dst_graph=drop_udp_graph("fixed"))
+        assert not device.services["acme"].disabled_for_violation
+
+
+class TestAttachToNetwork:
+    def test_attached_device_filters_owned_traffic_in_flight(self):
+        net = Network(TopologyBuilder.line(3))
+        registry = OwnershipRegistry()
+        victim_prefix = net.topology.prefix_of(2)
+        acme = NetworkUser("acme", prefixes=[victim_prefix])
+        registry.register(acme)
+        device = attach_device(net, 1, registry)
+        device.install(acme, dst_graph=drop_udp_graph())
+        a = net.add_host(0)
+        b = net.add_host(2)
+        a.send(Packet.udp(a.address, b.address))  # UDP -> dropped at AS1
+        a.send(Packet.tcp_syn(a.address, b.address))  # TCP -> passes
+        net.run()
+        assert b.received_packets == 1
+        assert net.routers[1].drops["adaptive-device"] == 1
+        assert device.redirected == 2
+
+    def test_unowned_traffic_takes_direct_path(self):
+        net = Network(TopologyBuilder.line(3))
+        registry = OwnershipRegistry()
+        acme = NetworkUser("acme", prefixes=[net.topology.prefix_of(0)])
+        registry.register(acme)
+        device = attach_device(net, 1, registry)
+        device.install(acme, dst_graph=drop_udp_graph())
+        x = net.add_host(1)
+        y = net.add_host(2)
+        x.send(Packet.udp(x.address, y.address))
+        net.run()
+        assert y.received_packets == 1
+        assert device.redirected == 0

@@ -1,0 +1,111 @@
+"""Tests for the in-band (packet-level) control plane."""
+
+import pytest
+
+from repro.attack import DirectFlood
+from repro.core import NumberAuthority, Tcsp
+from repro.core.inband import InbandControlPlane
+from repro.errors import ControlPlaneUnavailable
+from repro.net import Network, TopologyBuilder
+
+
+def world(seed=44, timeout=0.5, tcsp_pps=500.0):
+    net = Network(TopologyBuilder.hierarchical(2, 2, 5, seed=seed))
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    tcsp.contract_isp("isp", net.topology.as_numbers)
+    stubs = net.topology.stub_ases
+    user_host = net.add_host(stubs[0])
+    plane = InbandControlPlane(net, tcsp, tcsp_asn=stubs[5],
+                               user_host=user_host, timeout=timeout,
+                               tcsp_processing_pps=tcsp_pps)
+    return net, authority, tcsp, plane, stubs
+
+
+class TestHappyPath:
+    def test_ping_roundtrip(self):
+        net, authority, tcsp, plane, stubs = world()
+        req = plane.request("ping")
+        net.run(until=1.0)
+        assert req.completed_at is not None
+        assert req.result == "pong"
+        assert not req.timed_out
+        assert req.latency > 0
+
+    def test_register_over_the_wire(self):
+        net, authority, tcsp, plane, stubs = world()
+        prefix = net.topology.prefix_of(stubs[0])
+        authority.record_allocation(prefix, "acme")
+        req = plane.request("register", payload=("acme", [prefix]))
+        net.run(until=1.0)
+        user, cert = req.result
+        assert user.user_id == "acme"
+        assert tcsp.user("acme") is user
+
+    def test_latency_reflects_network_path(self):
+        net, authority, tcsp, plane, stubs = world()
+        req = plane.request("ping")
+        net.run(until=1.0)
+        # at least the one-way propagation twice
+        assert req.latency >= 2 * 0.002
+
+    def test_failed_operation_still_answers(self):
+        net, authority, tcsp, plane, stubs = world()
+        prefix = net.topology.prefix_of(stubs[1])
+        # not allocated to "evil" -> server-side RegistrationError
+        req = plane.request("register", payload=("evil", [prefix]))
+        net.run(until=1.0)
+        assert req.completed_at is not None
+        assert req.error is not None
+        assert plane.success_fraction() == 0.0
+
+    def test_callback_invoked(self):
+        net, authority, tcsp, plane, stubs = world()
+        done = []
+        plane.request("ping", on_done=lambda r: done.append(r.result))
+        net.run(until=1.0)
+        assert done == ["pong"]
+
+    def test_outcomes_and_stats(self):
+        net, authority, tcsp, plane, stubs = world()
+        plane.request("ping")
+        plane.request("ping")
+        net.run(until=1.0)
+        outcomes = plane.outcomes()
+        assert len(outcomes) == 2
+        assert all(o.ok for o in outcomes)
+        assert plane.success_fraction() == 1.0
+        assert plane.mean_latency() > 0
+
+
+class TestUnderAttack:
+    def test_flood_on_tcsp_times_out_requests(self):
+        """Sec. 5.1: a DDoS on the TCSP makes the control plane unusable."""
+        net, authority, tcsp, plane, stubs = world(timeout=0.3, tcsp_pps=200.0)
+        attackers = [net.add_host(a) for a in stubs[1:4]]
+        DirectFlood(net, attackers, plane.tcsp_host, rate_pps=2000.0,
+                    duration=1.0, spoof="none", seed=1).launch()
+        # issue the request mid-flood
+        req_holder = {}
+        net.sim.schedule_at(0.3, lambda: req_holder.update(
+            r=plane.request("ping")))
+        net.run(until=2.0)
+        req = req_holder["r"]
+        assert req.timed_out
+        assert isinstance(req.error, ControlPlaneUnavailable)
+        assert plane.success_fraction() == 0.0
+
+    def test_unknown_operation(self):
+        net, authority, tcsp, plane, stubs = world()
+        req = plane.request("frobnicate")
+        net.run(until=1.0)
+        assert isinstance(req.error, ControlPlaneUnavailable)
+
+    def test_late_response_after_timeout_ignored(self):
+        """A response arriving after the client gave up must not crash."""
+        net, authority, tcsp, plane, stubs = world(timeout=0.001)
+        req = plane.request("ping")
+        net.run(until=1.0)
+        assert req.timed_out
+        # exactly one completion recorded despite the late response
+        assert len(plane.completed) == 1

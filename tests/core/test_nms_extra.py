@@ -1,0 +1,137 @@
+"""Additional NMS and TCSP edge-case tests."""
+
+import pytest
+
+from repro.core import (
+    CertificateAuthority,
+    ComponentGraph,
+    NetworkUser,
+    NumberAuthority,
+    Tcsp,
+)
+from repro.core.components import LoggerComponent
+from repro.core.nms import IspNms
+from repro.errors import CertificateError, DeploymentError
+from repro.net import Network, Packet, TopologyBuilder
+
+
+def world(seed=26):
+    net = Network(TopologyBuilder.hierarchical(2, 2, 3, seed=seed))
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    return net, authority, tcsp
+
+
+def log_factory(device_ctx):
+    g = ComponentGraph("log")
+    g.add(LoggerComponent("log"))
+    return g
+
+
+class TestNmsDeviceManagement:
+    def test_attach_devices_subset(self):
+        net, authority, tcsp = world()
+        nms = IspNms("isp", net, net.topology.as_numbers, ca=tcsp.ca)
+        nms.attach_devices(net.topology.stub_ases[:2])
+        assert set(nms.devices) == set(net.topology.stub_ases[:2])
+        # second attach is idempotent
+        nms.attach_devices(net.topology.stub_ases[:2])
+        assert len(nms.devices) == 2
+
+    def test_device_at_missing(self):
+        net, authority, tcsp = world()
+        nms = IspNms("isp", net, [0], ca=tcsp.ca)
+        with pytest.raises(DeploymentError):
+            nms.device_at(0)
+
+    def test_deploy_skips_deviceless_routers(self):
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers,
+                                attach_all=False)
+        nms.attach_devices([net.topology.stub_ases[0]])
+        prefix = net.topology.prefix_of(net.topology.stub_ases[0])
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        configured = nms.deploy(cert, user, net.topology.as_numbers,
+                                dst_graph_factory=log_factory)
+        assert configured == [net.topology.stub_ases[0]]
+
+    def test_deploy_requires_some_graph(self):
+        """A deploy with factories returning nothing configures nothing."""
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+        prefix = net.topology.prefix_of(net.topology.stub_ases[0])
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        configured = nms.deploy(cert, user, net.topology.as_numbers)
+        assert configured == []
+
+    def test_read_logs_without_service_is_empty(self):
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+        prefix = net.topology.prefix_of(net.topology.stub_ases[0])
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        assert nms.read_logs(cert, "acme") == []
+
+    def test_read_logs_wrong_user(self):
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+        prefix = net.topology.prefix_of(net.topology.stub_ases[0])
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        with pytest.raises(CertificateError):
+            nms.read_logs(cert, "other")
+
+    def test_set_active_wrong_user(self):
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+        prefix = net.topology.prefix_of(net.topology.stub_ases[0])
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        with pytest.raises(CertificateError):
+            nms.set_active(cert, "other", True)
+
+
+class TestCertificateExpiryInDeployment:
+    def test_expired_certificate_blocks_deployment(self):
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+        asn = net.topology.stub_ases[0]
+        prefix = net.topology.prefix_of(asn)
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix], validity=0.5)
+        # let simulated time pass beyond the validity window
+        net.sim.schedule_at(1.0, lambda: None)
+        net.run()
+        with pytest.raises(CertificateError):
+            nms.deploy(cert, user, [asn], dst_graph_factory=log_factory)
+
+    def test_revoked_certificate_blocks_management(self):
+        net, authority, tcsp = world()
+        nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+        asn = net.topology.stub_ases[0]
+        prefix = net.topology.prefix_of(asn)
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        nms.deploy(cert, user, [asn], dst_graph_factory=log_factory)
+        tcsp.ca.revoke(cert)
+        with pytest.raises(CertificateError):
+            nms.set_active(cert, "acme", False)
+
+
+class TestTcspRuleAccounting:
+    def test_total_rule_count_across_isps(self):
+        net, authority, tcsp = world()
+        half = len(net.topology.as_numbers) // 2
+        tcsp.contract_isp("isp1", net.topology.as_numbers[:half])
+        tcsp.contract_isp("isp2", net.topology.as_numbers[half:])
+        asn = net.topology.stub_ases[0]
+        prefix = net.topology.prefix_of(asn)
+        authority.record_allocation(prefix, "acme")
+        user, cert = tcsp.register_user("acme", [prefix])
+        from repro.core import DeploymentScope
+
+        tcsp.deploy_service(cert, DeploymentScope.everywhere(),
+                            dst_graph_factory=log_factory)
+        assert tcsp.total_rule_count() == len(net.topology.as_numbers)

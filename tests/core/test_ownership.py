@@ -1,0 +1,120 @@
+"""Tests for traffic ownership and the number authority."""
+
+import pytest
+
+from repro.core import NetworkUser, NumberAuthority, OwnershipRegistry
+from repro.errors import OwnershipError
+from repro.net import IPv4Address, Packet, Prefix
+
+P = Prefix.parse
+A = IPv4Address.parse
+
+
+class TestNetworkUser:
+    def test_owns_address(self):
+        u = NetworkUser("acme", prefixes=[P("10.1.0.0/16")])
+        assert u.owns_address("10.1.2.3")
+        assert not u.owns_address("10.2.0.0")
+
+    def test_owns_packet_by_src_or_dst(self):
+        u = NetworkUser("acme", prefixes=[P("10.1.0.0/16")])
+        inside, outside = A("10.1.0.1"), A("10.9.0.1")
+        assert u.owns_packet(Packet.udp(inside, outside))
+        assert u.owns_packet(Packet.udp(outside, inside))
+        assert not u.owns_packet(Packet.udp(outside, outside))
+
+
+class TestNumberAuthority:
+    def test_record_and_verify(self):
+        na = NumberAuthority()
+        na.record_allocation(P("10.1.0.0/16"), "acme")
+        assert na.verify_ownership("acme", [P("10.1.0.0/16")])
+        assert not na.verify_ownership("evil", [P("10.1.0.0/16")])
+
+    def test_covering_allocation_verifies_subprefix(self):
+        na = NumberAuthority()
+        na.record_allocation(P("10.0.0.0/8"), "acme")
+        assert na.verify_ownership("acme", [P("10.5.0.0/16")])
+
+    def test_unallocated_prefix_fails(self):
+        na = NumberAuthority()
+        assert not na.verify_ownership("acme", [P("10.0.0.0/8")])
+
+    def test_partial_claims_fail(self):
+        na = NumberAuthority()
+        na.record_allocation(P("10.1.0.0/16"), "acme")
+        assert not na.verify_ownership("acme", [P("10.1.0.0/16"), P("10.2.0.0/16")])
+
+    def test_double_allocation_rejected(self):
+        na = NumberAuthority()
+        na.record_allocation(P("10.1.0.0/16"), "acme")
+        with pytest.raises(OwnershipError):
+            na.record_allocation(P("10.1.0.0/16"), "evil")
+        # idempotent for the same holder
+        na.record_allocation(P("10.1.0.0/16"), "acme")
+
+    def test_holder_of_and_allocations(self):
+        na = NumberAuthority()
+        na.record_allocation(P("10.1.0.0/16"), "acme")
+        na.record_allocation(P("10.2.0.0/16"), "acme")
+        assert na.holder_of(P("10.1.0.0/16")) == "acme"
+        assert na.holder_of(P("10.3.0.0/16")) is None
+        assert na.allocations_of("acme") == [P("10.1.0.0/16"), P("10.2.0.0/16")]
+
+
+class TestOwnershipRegistry:
+    def test_owner_lookup(self):
+        reg = OwnershipRegistry()
+        acme = NetworkUser("acme", prefixes=[P("10.1.0.0/16")])
+        reg.register(acme)
+        assert reg.owner_of("10.1.2.3") is acme
+        assert reg.owner_of("10.2.0.0") is None
+
+    def test_owners_of_packet_two_stages(self):
+        reg = OwnershipRegistry()
+        acme = NetworkUser("acme", prefixes=[P("10.1.0.0/16")])
+        globex = NetworkUser("globex", prefixes=[P("10.2.0.0/16")])
+        reg.register(acme)
+        reg.register(globex)
+        pkt = Packet.udp(A("10.1.0.1"), A("10.2.0.1"))
+        src_owner, dst_owner = reg.owners_of_packet(pkt)
+        assert src_owner is acme and dst_owner is globex
+
+    def test_is_owned(self):
+        reg = OwnershipRegistry()
+        reg.register(NetworkUser("acme", prefixes=[P("10.1.0.0/16")]))
+        assert reg.is_owned(Packet.udp(A("10.1.0.1"), A("10.9.0.1")))
+        assert not reg.is_owned(Packet.udp(A("10.8.0.1"), A("10.9.0.1")))
+
+    def test_conflicting_registration_rejected(self):
+        reg = OwnershipRegistry()
+        reg.register(NetworkUser("acme", prefixes=[P("10.1.0.0/16")]))
+        with pytest.raises(OwnershipError):
+            reg.register(NetworkUser("evil", prefixes=[P("10.1.0.0/16")]))
+
+    def test_unregister(self):
+        reg = OwnershipRegistry()
+        reg.register(NetworkUser("acme", prefixes=[P("10.1.0.0/16")]))
+        reg.unregister("acme")
+        assert reg.owner_of("10.1.0.1") is None
+        with pytest.raises(OwnershipError):
+            reg.unregister("acme")
+
+    def test_user_accessor(self):
+        reg = OwnershipRegistry()
+        acme = NetworkUser("acme", prefixes=[P("10.1.0.0/16")])
+        reg.register(acme)
+        assert reg.user("acme") is acme
+        with pytest.raises(OwnershipError):
+            reg.user("nobody")
+        assert len(reg) == 1
+        assert reg.users == [acme]
+
+    def test_longest_prefix_owner_wins(self):
+        reg = OwnershipRegistry()
+        coarse = NetworkUser("coarse", prefixes=[P("10.0.0.0/8")])
+        fine = NetworkUser("fine", prefixes=[P("10.1.0.0/16")])
+        reg.register(coarse)
+        reg.register(fine)
+        assert reg.owner_of("10.1.0.1") is fine
+        assert reg.owner_of("10.2.0.1") is coarse

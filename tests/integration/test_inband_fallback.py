@@ -1,0 +1,86 @@
+"""Integration: the complete Sec. 5.1 resilience story, packet-level.
+
+1. The victim registers through the *in-band* control plane (real packets
+   to the TCSP host).
+2. An attacker floods the TCSP host: further in-band requests time out.
+3. The victim falls back to the direct ISP-NMS path and deploys its
+   defense anyway.
+4. The defense works: a simultaneous reflector attack on the victim dies.
+"""
+
+import pytest
+
+from repro.attack import DirectFlood, ReflectorAttack
+from repro.core import (
+    DeploymentScope,
+    NumberAuthority,
+    Tcsp,
+    TrafficControlService,
+)
+from repro.core.apps import AntiSpoofApp
+from repro.core.inband import InbandControlPlane
+from repro.errors import ControlPlaneUnavailable
+from repro.net import Network, TopologyBuilder
+
+
+@pytest.fixture()
+def world():
+    net = Network(TopologyBuilder.hierarchical(2, 2, 8, seed=19))
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    nms = tcsp.contract_isp("isp", net.topology.as_numbers)
+    stubs = net.topology.stub_ases
+    victim = net.add_host(stubs[0])
+    plane = InbandControlPlane(net, tcsp, tcsp_asn=stubs[15],
+                               user_host=victim, timeout=0.3,
+                               tcsp_processing_pps=200.0)
+    prefix = net.topology.prefix_of(victim.asn)
+    authority.record_allocation(prefix, "victim-co")
+    return net, authority, tcsp, nms, victim, plane, stubs, prefix
+
+
+class TestFullResilienceStory:
+    def test_register_inband_then_fallback_deploy_under_tcsp_flood(self, world):
+        net, authority, tcsp, nms, victim, plane, stubs, prefix = world
+
+        # phase 1: in-band registration while the network is healthy
+        reg = plane.request("register", payload=("victim-co", [prefix]))
+        net.run(until=0.5)
+        assert reg.completed_at is not None and reg.error is None
+        user, cert = reg.result
+
+        # phase 2: the TCSP comes under fire
+        tcsp_attackers = [net.add_host(a) for a in stubs[1:4]]
+        DirectFlood(net, tcsp_attackers, plane.tcsp_host, rate_pps=1500.0,
+                    duration=2.0, spoof="none", seed=2).launch()
+        probe = {}
+        net.sim.schedule_at(1.0, lambda: probe.update(r=plane.request("ping")))
+        net.run(until=1.6)
+        assert probe["r"].timed_out  # in-band path is dead
+
+        # phase 3: out-of-band fallback through the home NMS still works
+        tcsp.reachable = False  # the victim concluded the TCSP is gone
+        svc = TrafficControlService(tcsp, user, cert, home_nms=nms)
+        app = AntiSpoofApp(svc)
+        app.deploy(DeploymentScope.stub_borders())
+        assert svc.fallback_used == 1
+
+        # phase 4: the reflector attack against the victim dies at source
+        agents = [net.add_host(a) for a in stubs[4:9]]
+        reflectors = [net.add_host(a) for a in stubs[9:13]]
+        start = net.sim.now
+        ReflectorAttack(net, agents, reflectors, victim, rate_pps=200.0,
+                        duration=0.5, start=start + 0.05, seed=3).launch()
+        net.run(until=start + 1.0)
+        assert victim.received_by_kind.get("attack-reflected", 0) == 0
+        assert app.dropped() > 0
+
+    def test_without_fallback_the_user_is_stuck(self, world):
+        net, authority, tcsp, nms, victim, plane, stubs, prefix = world
+        reg = plane.request("register", payload=("victim-co", [prefix]))
+        net.run(until=0.5)
+        user, cert = reg.result
+        tcsp.reachable = False
+        svc = TrafficControlService(tcsp, user, cert, home_nms=None)
+        with pytest.raises(ControlPlaneUnavailable):
+            AntiSpoofApp(svc).deploy()

@@ -1,0 +1,148 @@
+"""Property-based tests of the Sec. 4.5 safety guarantees over randomised
+service graphs, packets and ownership layouts (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AdaptiveDevice,
+    ComponentGraph,
+    DeviceContext,
+    NetworkUser,
+    OwnershipRegistry,
+)
+from repro.core.components import (
+    Capabilities,
+    Component,
+    HeaderFilter,
+    HeaderMatch,
+    PayloadScrubber,
+    PrefixBlacklist,
+    RateLimiterComponent,
+    Verdict,
+)
+from repro.net import ASRole, IPv4Address, Packet, Prefix, Protocol
+
+OWNED = Prefix.parse("10.1.0.0/16")
+LOCAL = Prefix.parse("10.9.0.0/16")
+
+
+def make_device(graph: ComponentGraph) -> AdaptiveDevice:
+    registry = OwnershipRegistry()
+    user = NetworkUser("owner", prefixes=[OWNED])
+    registry.register(user)
+    device = AdaptiveDevice(
+        DeviceContext(asn=9, role=ASRole.STUB, local_prefix=LOCAL),
+        registry, strict=True)
+    device.install(user, src_graph=graph, dst_graph=graph)
+    return device
+
+
+component_strategy = st.sampled_from([
+    lambda i: HeaderFilter(f"hf{i}", HeaderMatch(proto=Protocol.UDP, dport=53)),
+    lambda i: HeaderFilter(f"hf{i}", HeaderMatch(min_size=400)),
+    lambda i: PrefixBlacklist(f"bl{i}", [Prefix.parse("10.200.0.0/16")]),
+    lambda i: RateLimiterComponent(f"rl{i}", rate_bps=1e6),
+    lambda i: PayloadScrubber(f"sc{i}"),
+])
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    graph = ComponentGraph("prop")
+    graph.chain(*[draw(component_strategy)(i) for i in range(n)])
+    return graph
+
+
+@st.composite
+def packets(draw):
+    owned_src = draw(st.booleans())
+    owned_dst = draw(st.booleans())
+    src_base = OWNED.base if owned_src else Prefix.parse("172.16.0.0/16").base
+    dst_base = OWNED.base if owned_dst else Prefix.parse("172.17.0.0/16").base
+    src = IPv4Address(src_base + draw(st.integers(1, 65000)))
+    dst = IPv4Address(dst_base + draw(st.integers(1, 65000)))
+    proto = draw(st.sampled_from([Protocol.UDP, Protocol.TCP]))
+    size = draw(st.integers(min_value=20, max_value=1500))
+    dport = draw(st.sampled_from([53, 80, 443]))
+    return Packet(src=src, dst=dst, proto=proto, size=size, dport=dport)
+
+
+class TestConservationProperties:
+    @given(graph=graphs(), pkts=st.lists(packets(), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_vetted_graphs_never_violate_conservation(self, graph, pkts):
+        """Any chain of stock components keeps every Sec. 4.5 invariant."""
+        device = make_device(graph)
+        for i, pkt in enumerate(pkts):
+            before_src, before_dst = int(pkt.src), int(pkt.dst)
+            before_ttl, before_size = pkt.ttl, pkt.size
+            out = device.process(pkt, now=i * 0.01, ingress_asn=None)
+            if out is not None:
+                assert int(out.src) == before_src
+                assert int(out.dst) == before_dst
+                assert out.ttl == before_ttl
+                assert out.size <= before_size
+        for instance in device.services.values():
+            assert instance.monitor.conserving
+            assert not instance.disabled_for_violation
+
+    @given(graph=graphs(), pkts=st.lists(packets(), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_unowned_packets_always_untouched(self, graph, pkts):
+        """Scope confinement: foreign packets pass identically."""
+        device = make_device(graph)
+        for i, pkt in enumerate(pkts):
+            if OWNED.contains(pkt.src) or OWNED.contains(pkt.dst):
+                continue
+            size_before = pkt.size
+            assert not device.wants(pkt)
+            out = device.process(pkt, now=i * 0.01, ingress_asn=None)
+            assert out is pkt
+            assert out.size == size_before
+
+    @given(pkts=st.lists(packets(), min_size=5, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_drop_counts_consistent(self, pkts):
+        graph = ComponentGraph("g")
+        graph.add(HeaderFilter("f", HeaderMatch(proto=Protocol.UDP)))
+        device = make_device(graph)
+        owned = [p for p in pkts if OWNED.contains(p.src) or OWNED.contains(p.dst)]
+        outcomes = [device.process(p, 0.0, None) for p in owned]
+        dropped = sum(1 for o in outcomes if o is None)
+        assert device.dropped == dropped
+        assert device.redirected == len(owned)
+
+
+class TestVettingIsSound:
+    """Vetting rejects exactly the capability declarations that would allow
+    a Sec. 4.5 violation."""
+
+    @given(
+        forbidden=st.sets(st.sampled_from(["src", "dst", "ttl"]), min_size=0, max_size=3),
+        benign=st.sets(st.sampled_from(["dscp", "ecn", "label"]), min_size=0, max_size=3),
+        outputs=st.integers(min_value=0, max_value=3),
+        size_ratio=st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=120)
+    def test_vet_component_decision(self, forbidden, benign, outputs, size_ratio):
+        from repro.core import vet_component
+        from repro.errors import VettingError
+
+        class Probe(Component):
+            capabilities = Capabilities(
+                modifies_headers=frozenset(forbidden | benign),
+                max_outputs_per_input=outputs,
+                max_size_ratio=size_ratio,
+            )
+
+            def process(self, packet, ctx):
+                return Verdict.PASS
+
+        should_reject = bool(forbidden) or outputs > 1 or size_ratio > 1.0
+        try:
+            vet_component(Probe("probe"))
+            rejected = False
+        except VettingError:
+            rejected = True
+        assert rejected == should_reject

@@ -1,0 +1,88 @@
+"""Tests for the host CPU (processing capacity) model."""
+
+import pytest
+
+from repro.net import Network, Packet, TopologyBuilder
+
+
+def farm_host(processing_pps, n_packets=100, gap=0.001):
+    net = Network(TopologyBuilder.line(2))
+    server = net.add_host(1, processing_pps=processing_pps)
+    client = net.add_host(0)
+    for i in range(n_packets):
+        net.sim.schedule_at(i * gap, client.send,
+                            Packet.udp(client.address, server.address))
+    net.run()
+    return server
+
+
+class TestHostCpu:
+    def test_unlimited_by_default(self):
+        server = farm_host(None)
+        assert server.received_packets == 100
+        assert server.cpu_dropped == 0
+
+    def test_overload_drops_excess(self):
+        # 1000 pps arrival against a 200 pps server
+        server = farm_host(200.0)
+        assert server.cpu_dropped > 0
+        assert server.received_packets + server.cpu_dropped == 100
+        # serviced rate is bounded by capacity (0.1 s sim -> ~20 services
+        # plus window-boundary slack)
+        assert server.received_packets < 60
+
+    def test_slow_arrivals_all_serviced(self):
+        server = farm_host(200.0, n_packets=20, gap=0.05)  # 20 pps
+        assert server.cpu_dropped == 0
+        assert server.received_packets == 20
+
+    def test_drops_tracked_by_kind(self):
+        net = Network(TopologyBuilder.line(2))
+        server = net.add_host(1, processing_pps=100.0)
+        client = net.add_host(0)
+        for i in range(50):
+            kind = "attack" if i % 2 else "legit"
+            net.sim.schedule_at(i * 0.0005, client.send,
+                                Packet.udp(client.address, server.address,
+                                           kind=kind))
+        net.run()
+        assert server.cpu_dropped > 0
+        assert set(server.cpu_dropped_by_kind) <= {"attack", "legit"}
+        assert (sum(server.cpu_dropped_by_kind.values())
+                == server.cpu_dropped)
+
+    def test_cpu_drops_invisible_to_responders(self):
+        net = Network(TopologyBuilder.line(2))
+        server = net.add_host(1, processing_pps=100.0)
+        client = net.add_host(0)
+        serviced = []
+        server.add_responder(lambda pkt, host, now: serviced.append(pkt.uid) or None)
+        for i in range(50):
+            net.sim.schedule_at(i * 0.0005, client.send,
+                                Packet.udp(client.address, server.address))
+        net.run()
+        assert len(serviced) == server.received_packets
+
+    def test_reset_clears_cpu_counters(self):
+        server = farm_host(100.0)
+        assert server.cpu_dropped > 0
+        server.reset_stats()
+        assert server.cpu_dropped == 0
+        assert not server.cpu_dropped_by_kind
+
+
+class TestE14:
+    def test_farm_failure_mode_shape(self):
+        from repro.experiments import e14_server_farm
+        from repro.experiments.common import ExperimentConfig
+
+        table = e14_server_farm.run(ExperimentConfig(seed=42, scale=0.5))[0]
+        rows = {row[0]: row for row in table.rows}
+        # the farm link never congests in any run
+        assert all(row[1] < 10.0 for row in table.rows)
+        # pushback sees nothing and helps nobody
+        assert rows["pushback"][3] == 0
+        assert rows["pushback"][4] == pytest.approx(rows["none"][4], abs=5)
+        # the TCS restores full service
+        assert rows["tcs"][4] == 100.0
+        assert rows["tcs"][2] == 0

@@ -1,0 +1,212 @@
+"""Tests for links, routers, hosts and the assembled Network."""
+
+import pytest
+
+from repro.errors import SimulationError, TopologyError
+from repro.net import (
+    Link,
+    LinkParams,
+    Network,
+    Packet,
+    Simulator,
+    TopologyBuilder,
+)
+from repro.util.units import Mbps, ms
+
+
+def line_net(n=3, **kw):
+    return Network(TopologyBuilder.line(n), **kw)
+
+
+class TestLink:
+    def test_delivery_time_includes_serialization_and_delay(self):
+        net = line_net(2)
+        a = net.add_host(0, access=LinkParams(bandwidth=Mbps(8), delay=ms(10), buffer_bytes=10**6))
+        b = net.add_host(1)
+        a.send(Packet.udp(a.address, b.address, size=1000))
+        net.run()
+        # serialization of 1000 B at 8 Mbit/s = 1 ms per link traversal
+        assert b.received_packets == 1
+        assert net.sim.now > ms(10)
+
+    def test_tail_drop_when_buffer_full(self):
+        sim = Simulator()
+        net = line_net(2)
+        link = net.link_between(0, 1)
+        # shrink buffer so the second packet cannot fit
+        link.buffer_bytes = 1200
+        fat = LinkParams(bandwidth=Mbps(1000), delay=0.0, buffer_bytes=10**6)
+        a = net.add_host(0, access=fat)
+        b = net.add_host(1)
+        for _ in range(5):
+            a.send(Packet.udp(a.address, b.address, size=1000))
+        net.run()
+        assert b.received_packets < 5
+        assert link.dropped_packets >= 1
+        assert net.routers[0].drops.get("queue-full", 0) >= 1
+        del sim
+
+    def test_fifo_order(self):
+        net = line_net(2)
+        a = net.add_host(0)
+        b = net.add_host(1, record=True)
+        for i in range(5):
+            a.send(Packet.udp(a.address, b.address, sport=i))
+        net.run()
+        assert [p.sport for _, p in b.log] == [0, 1, 2, 3, 4]
+
+    def test_invalid_parameters(self):
+        net = line_net(2)
+        with pytest.raises(SimulationError):
+            Link(net.routers[0], net.routers[1], bandwidth=0, delay=0.0)
+
+    def test_utilization_and_drop_rate(self):
+        net = line_net(2)
+        link = net.link_between(0, 1)
+        link.buffer_bytes = 2000
+        a = net.add_host(0, access=LinkParams(bandwidth=Mbps(1000), delay=0.0, buffer_bytes=10**7))
+        b = net.add_host(1)
+        for _ in range(100):
+            a.send(Packet.udp(a.address, b.address, size=1000))
+        net.run(until=0.5)
+        assert link.dropped_packets > 0
+        assert link.drop_rate(0.1) >= 0
+        del b
+
+
+class TestForwarding:
+    def test_multi_hop_delivery(self):
+        net = line_net(5)
+        a = net.add_host(0)
+        b = net.add_host(4)
+        a.send(Packet.udp(a.address, b.address))
+        net.run()
+        assert b.received_packets == 1
+
+    def test_ttl_decremented_per_as_hop(self):
+        net = line_net(4)
+        a = net.add_host(0)
+        b = net.add_host(3, record=True)
+        a.send(Packet.udp(a.address, b.address, ttl=64))
+        net.run()
+        (_, p), = b.log
+        assert p.ttl == 64 - 3  # three inter-AS hops
+
+    def test_ttl_expiry_drops(self):
+        net = line_net(5)
+        a = net.add_host(0)
+        b = net.add_host(4)
+        a.send(Packet.udp(a.address, b.address, ttl=2))
+        net.run()
+        assert b.received_packets == 0
+        assert net.total_dropped("ttl-expired") == 1
+
+    def test_unroutable_destination_dropped(self):
+        net = line_net(2)
+        a = net.add_host(0)
+        from repro.net import IPv4Address
+
+        a.send(Packet.udp(a.address, IPv4Address.parse("203.0.113.1")))
+        net.run()
+        assert net.total_dropped("no-route") == 1
+
+    def test_unknown_host_in_known_as_dropped(self):
+        net = line_net(2)
+        a = net.add_host(0)
+        dst_prefix = net.topology.prefix_of(1)
+        a.send(Packet.udp(a.address, dst_prefix.last))
+        net.run()
+        assert net.total_dropped("no-host") == 1
+
+    def test_filter_drops_and_accounts(self):
+        net = line_net(3)
+        a = net.add_host(0)
+        b = net.add_host(2)
+        net.routers[1].add_filter("blockall", lambda p, r, l, now: False)
+        a.send(Packet.udp(a.address, b.address, kind="attack"))
+        net.run()
+        assert b.received_packets == 0
+        assert net.routers[1].drops["filter:blockall"] == 1
+        assert net.routers[1].drops_by_kind[("filter:blockall", "attack")] == 1
+
+    def test_filter_replace_and_remove(self):
+        net = line_net(2)
+        r = net.routers[0]
+        r.add_filter("f", lambda *a: False)
+        r.add_filter("f", lambda *a: True)
+        assert len(r.filters) == 1
+        assert r.remove_filter("f")
+        assert not r.remove_filter("f")
+        assert not r.has_filter("f")
+
+    def test_responder_generates_reply(self):
+        net = line_net(3)
+        client = net.add_host(0)
+        server = net.add_host(2)
+        server.add_responder(
+            lambda pkt, host, now: [Packet.udp(host.address, pkt.src, size=1000, kind="reply")]
+        )
+        client.send(Packet.udp(client.address, server.address, kind="request"))
+        net.run()
+        assert client.received_by_kind["reply"] == 1
+
+    def test_byte_hops_accounting(self):
+        net = line_net(4)
+        a = net.add_host(0)
+        b = net.add_host(3)
+        net.routers[2].add_filter("block", lambda p, r, l, now: p.kind != "attack")
+        a.send(Packet.udp(a.address, b.address, size=100, kind="attack"))
+        net.run()
+        # dropped at AS2 after 2 inter-AS hops
+        assert net.byte_hops_by_kind["attack"] == 200
+
+
+class TestNetworkApi:
+    def test_host_at(self):
+        net = line_net(2)
+        a = net.add_host(0)
+        assert net.host_at(a.address) is a
+        with pytest.raises(TopologyError):
+            net.host_at(12345)
+
+    def test_link_between_missing(self):
+        net = line_net(3)
+        with pytest.raises(TopologyError):
+            net.link_between(0, 2)
+
+    def test_total_received_by_kind(self):
+        net = line_net(2)
+        a = net.add_host(0)
+        b = net.add_host(1)
+        a.send(Packet.udp(a.address, b.address, kind="legit"))
+        a.send(Packet.udp(a.address, b.address, kind="attack"))
+        net.run()
+        assert net.total_received() == 2
+        assert net.total_received("legit") == 1
+        assert net.total_received("attack") == 1
+
+    def test_reset_stats(self):
+        net = line_net(2)
+        a = net.add_host(0)
+        b = net.add_host(1)
+        a.send(Packet.udp(a.address, b.address))
+        net.run()
+        net.reset_stats()
+        assert b.received_packets == 0
+        assert net.routers[0].forwarded_packets == 0
+        assert net.total_received() == 0
+
+    def test_path_helper(self):
+        net = line_net(4)
+        assert net.path(0, 3) == [0, 1, 2, 3]
+
+    def test_tier_link_params_applied(self):
+        net = Network(TopologyBuilder.hierarchical(n_core=2, transit_per_core=1,
+                                                   stub_per_transit=1, seed=1))
+        core_pair = (net.topology.core_ases[0], net.topology.core_ases[1])
+        edge_pair = None
+        for (a, b) in net.links:
+            if net.topology.role_of(a).value == "transit" and net.topology.role_of(b).value == "stub":
+                edge_pair = (a, b)
+                break
+        assert net.links[core_pair].bandwidth > net.links[edge_pair].bandwidth

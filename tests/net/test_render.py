@@ -1,0 +1,48 @@
+"""Tests for topology rendering."""
+
+from repro.net import TopologyBuilder
+from repro.net.render import tier_summary, to_dot
+
+
+class TestToDot:
+    def test_contains_all_nodes_and_edges(self):
+        topo = TopologyBuilder.star(3)
+        dot = to_dot(topo)
+        assert dot.startswith("graph internet {")
+        assert dot.rstrip().endswith("}")
+        for asn in topo.as_numbers:
+            assert f'label="AS{asn}"' in dot
+        assert dot.count(" -- ") == topo.graph.number_of_edges()
+
+    def test_roles_styled_differently(self):
+        topo = TopologyBuilder.hierarchical(2, 1, 1, seed=1)
+        dot = to_dot(topo)
+        assert "shape=box" in dot      # core
+        assert "shape=ellipse" in dot  # transit
+        assert "shape=circle" in dot   # stub
+
+    def test_highlight_and_title(self):
+        topo = TopologyBuilder.line(3)
+        dot = to_dot(topo, highlight=[1], title="demo")
+        assert 'label="demo";' in dot
+        assert dot.count("penwidth=3") == 1
+
+    def test_show_prefixes(self):
+        topo = TopologyBuilder.line(2)
+        dot = to_dot(topo, show_prefixes=True)
+        assert str(topo.prefix_of(0)) in dot
+
+
+class TestTierSummary:
+    def test_summary_lines(self):
+        topo = TopologyBuilder.hierarchical(2, 2, 3, seed=1)
+        topo.add_hosts(topo.stub_ases[0], 4)
+        text = tier_summary(topo)
+        assert f"{len(topo)} ASes" in text
+        assert "core" in text and "transit" in text and "stub" in text
+        assert "hosts    4" in text
+
+    def test_missing_tier_reported(self):
+        topo = TopologyBuilder.line(2)  # stubs only
+        text = tier_summary(topo)
+        assert "core     none" in text

@@ -1,0 +1,98 @@
+"""Unit and property tests for shortest-path routing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RoutingError
+from repro.net import TopologyBuilder, build_routing
+from repro.net.routing import as_path
+
+
+class TestNextHops:
+    def test_line_next_hops(self):
+        t = TopologyBuilder.line(4)
+        tables = build_routing(t)
+        assert tables[0].next_hop(3) == 1
+        assert tables[1].next_hop(3) == 2
+        assert tables[3].next_hop(0) == 2
+        assert tables[2].next_hop(2) == 2  # local delivery
+
+    def test_paths_are_shortest(self):
+        t = TopologyBuilder.powerlaw(n=40, seed=9)
+        tables = build_routing(t)
+        nodes = t.as_numbers
+        for src in nodes[:10]:
+            lengths = nx.single_source_shortest_path_length(t.graph, src)
+            for dst in nodes[-10:]:
+                path = as_path(tables, src, dst)
+                assert len(path) - 1 == lengths[dst]
+                # path must be a real walk in the graph
+                for a, b in zip(path, path[1:]):
+                    assert t.graph.has_edge(a, b)
+
+    def test_path_endpoints(self):
+        t = TopologyBuilder.hierarchical(seed=4)
+        tables = build_routing(t)
+        path = as_path(tables, t.stub_ases[0], t.stub_ases[-1])
+        assert path[0] == t.stub_ases[0]
+        assert path[-1] == t.stub_ases[-1]
+
+    def test_self_path(self):
+        t = TopologyBuilder.star(3)
+        tables = build_routing(t)
+        assert as_path(tables, 2, 2) == [2]
+
+    def test_unknown_destination(self):
+        t = TopologyBuilder.star(3)
+        tables = build_routing(t)
+        with pytest.raises(RoutingError):
+            tables[0].next_hop(99)
+
+    def test_deterministic_tie_breaking(self):
+        t = TopologyBuilder.hierarchical(seed=2)
+        t1 = build_routing(t)
+        t2 = build_routing(t)
+        for asn in t.as_numbers:
+            for dst in t.as_numbers:
+                assert t1[asn].next_hop(dst) == t2[asn].next_hop(dst)
+
+
+class TestExpectedIngress:
+    def test_line_expected_ingress(self):
+        t = TopologyBuilder.line(4)
+        tables = build_routing(t)
+        # traffic from AS0 must reach AS3 via AS2
+        assert tables[3].expected_ingress(0) == frozenset({2})
+        assert tables[2].expected_ingress(0) == frozenset({1})
+
+    def test_ingress_matches_actual_path(self):
+        """The penultimate hop of every path is an expected ingress."""
+        t = TopologyBuilder.powerlaw(n=30, seed=1)
+        tables = build_routing(t)
+        for src in t.as_numbers[:8]:
+            for dst in t.as_numbers[-8:]:
+                if src == dst:
+                    continue
+                path = as_path(tables, src, dst)
+                if len(path) >= 2:
+                    assert path[-2] in tables[dst].expected_ingress(src)
+
+    def test_off_path_neighbour_not_expected(self):
+        t = TopologyBuilder.line(4)
+        tables = build_routing(t)
+        # at AS1, traffic claiming source AS0 can only come from AS0, not AS2
+        assert tables[1].expected_ingress(0) == frozenset({0})
+
+
+@given(n=st.integers(min_value=3, max_value=30), seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=15, deadline=None)
+def test_all_pairs_reach_destination(n, seed):
+    t = TopologyBuilder.powerlaw(n=n, m=2, seed=seed)
+    tables = build_routing(t)
+    nodes = t.as_numbers
+    for src in nodes:
+        for dst in nodes[:: max(1, len(nodes) // 5)]:
+            path = as_path(tables, src, dst)
+            assert path[-1] == dst
+            assert len(set(path)) == len(path)  # loop-free

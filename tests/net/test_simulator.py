@@ -1,0 +1,157 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.net import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(2.0, out.append, "late")
+        sim.schedule(1.0, out.append, "early")
+        sim.run()
+        assert out == ["early", "late"]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        out = []
+        for i in range(5):
+            sim.schedule(1.0, out.append, i)
+        sim.run()
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        out = []
+
+        def outer():
+            out.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            out.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert out == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_cancel(self):
+        sim = Simulator()
+        out = []
+        ev = sim.schedule(1.0, out.append, "x")
+        ev.cancel()
+        sim.run()
+        assert out == []
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        out = []
+        sim.schedule(1.0, out.append, "a")
+        sim.schedule(5.0, out.append, "b")
+        sim.run(until=2.0)
+        assert out == ["a"]
+        assert sim.now == 2.0
+        sim.run()
+        assert out == ["a", "b"]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        out = []
+        for i in range(10):
+            sim.schedule(float(i + 1), out.append, i)
+        n = sim.run(max_events=3)
+        assert n == 3
+        assert out == [0, 1, 2]
+
+    def test_run_with_no_events_sets_until(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending == 0
+
+
+class TestPeriodic:
+    def test_schedule_every(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(1.0, lambda: ticks.append(sim.now), until=5.0)
+        sim.run()
+        assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_schedule_every_stops_on_false(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            return len(ticks) < 3
+
+        sim.schedule_every(1.0, tick)
+        sim.run()
+        assert len(ticks) == 3
+
+    def test_explicit_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule_every(2.0, lambda: ticks.append(sim.now), start=0.5, until=5.0)
+        sim.run()
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_bad_interval(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_every(0.0, lambda: None)
+
+
+class TestDeterminism:
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_replay_identical(self, delays):
+        def run_once():
+            sim = Simulator()
+            out = []
+            for i, d in enumerate(delays):
+                sim.schedule(d, out.append, (d, i))
+            sim.run()
+            return out
+
+        assert run_once() == run_once()
+
+    @given(delays=st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    def test_fire_times_sorted(self, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)

@@ -1,0 +1,80 @@
+"""Tests for packet trace recording."""
+
+import pytest
+
+from repro.net import Network, Packet, TopologyBuilder, TraceRecorder
+
+
+class TestTraceRecorder:
+    def _run(self, recorder, n=10):
+        from repro.net import LinkParams
+        from repro.util.units import Mbps
+
+        net = Network(TopologyBuilder.line(3))
+        fat = LinkParams(bandwidth=Mbps(1000), delay=0.001, buffer_bytes=10**7)
+        a = net.add_host(0, access=fat)
+        b = net.add_host(2)
+        net.routers[1].add_filter("trace", recorder)
+        for i in range(n):
+            a.send(Packet.udp(a.address, b.address, sport=i))
+        net.run()
+        return net, a, b
+
+    def test_records_all_at_full_sampling(self):
+        rec = TraceRecorder(sample_rate=1.0)
+        net, a, b = self._run(rec)
+        assert len(rec) == 10
+        assert rec.observed == 10
+        assert b.received_packets == 10  # pass-through, never drops
+
+    def test_sampling_reduces_records(self):
+        rec = TraceRecorder(sample_rate=0.3, seed=1)
+        self._run(rec, n=200)
+        assert 20 <= len(rec) <= 120
+        assert rec.observed == 200
+
+    def test_record_fields(self):
+        rec = TraceRecorder()
+        net, a, b = self._run(rec, n=1)
+        r = rec.records[0]
+        assert r.asn == 1
+        assert r.src == int(a.address)
+        assert r.dst == int(b.address)
+        assert r.proto == "UDP"
+        assert r.ingress_asn == 0
+
+    def test_by_uid_ordered(self):
+        net = Network(TopologyBuilder.line(4))
+        a = net.add_host(0)
+        b = net.add_host(3)
+        rec = TraceRecorder()
+        net.routers[1].add_filter("t", rec)
+        net.routers[2].add_filter("t", rec)
+        pkt = Packet.udp(a.address, b.address)
+        a.send(pkt)
+        net.run()
+        obs = rec.by_uid(pkt.uid)
+        assert [o.asn for o in obs] == [1, 2]
+        assert obs[0].time <= obs[1].time
+
+    def test_unique_sources(self):
+        rec = TraceRecorder()
+        net, a, b = self._run(rec)
+        assert rec.unique_sources() == {int(a.address)}
+
+    def test_max_records_bound(self):
+        rec = TraceRecorder(max_records=3)
+        self._run(rec, n=10)
+        assert len(rec) == 3
+        assert rec.observed == 10
+
+    def test_inter_arrival_times(self):
+        rec = TraceRecorder()
+        self._run(rec, n=5)
+        deltas = rec.inter_arrival_times()
+        assert len(deltas) == 4
+        assert (deltas >= 0).all()
+
+    def test_invalid_sample_rate(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(sample_rate=1.5)

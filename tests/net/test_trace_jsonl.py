@@ -1,0 +1,67 @@
+"""Tests for trace persistence and merging."""
+
+import pytest
+
+from repro.net import Network, Packet, TopologyBuilder, TraceRecorder
+
+
+def record_some(n=5):
+    net = Network(TopologyBuilder.line(4))
+    a = net.add_host(0)
+    b = net.add_host(3)
+    rec1 = TraceRecorder()
+    rec2 = TraceRecorder()
+    net.routers[1].add_filter("t", rec1)
+    net.routers[2].add_filter("t", rec2)
+    for i in range(n):
+        a.send(Packet.udp(a.address, b.address, sport=i))
+    net.run()
+    return rec1, rec2
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        rec1, _ = record_some()
+        path = tmp_path / "trace.jsonl"
+        written = rec1.to_jsonl(path)
+        assert written == 5
+        loaded = TraceRecorder.load_jsonl(path)
+        assert loaded == rec1.records
+
+    def test_empty_roundtrip(self, tmp_path):
+        rec = TraceRecorder()
+        path = tmp_path / "empty.jsonl"
+        assert rec.to_jsonl(path) == 0
+        assert TraceRecorder.load_jsonl(path) == []
+
+    def test_loaded_records_are_usable(self, tmp_path):
+        rec1, _ = record_some()
+        path = tmp_path / "trace.jsonl"
+        rec1.to_jsonl(path)
+        loaded = TraceRecorder.load_jsonl(path)
+        assert all(r.proto == "UDP" for r in loaded)
+        assert all(r.asn == 1 for r in loaded)
+
+
+class TestMerge:
+    def test_merge_is_time_ordered(self):
+        rec1, rec2 = record_some()
+        merged = TraceRecorder.merge([rec1, rec2])
+        assert len(merged) == 10
+        times = [r.time for r in merged]
+        assert times == sorted(times)
+
+    def test_merge_preserves_vantage_points(self):
+        rec1, rec2 = record_some()
+        merged = TraceRecorder.merge([rec1, rec2])
+        assert {r.asn for r in merged} == {1, 2}
+
+    def test_merged_trace_reconstructs_packet_journeys(self):
+        """Every packet appears at AS1 strictly before AS2."""
+        rec1, rec2 = record_some()
+        merged = TraceRecorder.merge([rec1, rec2])
+        by_uid = {}
+        for r in merged:
+            by_uid.setdefault(r.uid, []).append(r)
+        for observations in by_uid.values():
+            assert [o.asn for o in observations] == [1, 2]

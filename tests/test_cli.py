@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["defend", "--defense", "magic"])
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["topology", "--kind", "donut"])
+
+
+class TestTopologyCommand:
+    def test_summary_output(self, capsys):
+        assert main(["topology", "--kind", "star", "--size", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "5 ASes" in out
+        assert "stub   : 4" in out
+
+    def test_verbose_lists_ases(self, capsys):
+        main(["topology", "--kind", "line", "--size", "3", "--verbose"])
+        out = capsys.readouterr().out
+        assert "AS0" in out and "AS2" in out
+
+    @pytest.mark.parametrize("kind", ["hierarchical", "powerlaw", "internet"])
+    def test_all_kinds_build(self, kind, capsys):
+        assert main(["topology", "--kind", kind, "--size", "40"]) == 0
+
+
+class TestAttackAndDefend:
+    def test_attack_reports_metrics(self, capsys):
+        assert main(["attack", "--kind", "reflector", "--agents", "4",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "attack packets delivered" in out
+        assert "goodput" in out
+
+    def test_defend_tcs_zeroes_reflector(self, capsys):
+        assert main(["defend", "--attack", "reflector", "--defense", "tcs",
+                     "--agents", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "-> 0 (0% of undefended)" in out
+        assert "collateral damage : 0%" in out
+
+    def test_defend_none_is_identity(self, capsys):
+        assert main(["defend", "--attack", "direct-unspoofed",
+                     "--defense", "none", "--agents", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "100% of undefended" in out
+
+
+class TestExperimentsForwarding:
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "E5", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "E5: misuse attempts" in out
+
+    def test_markdown_flag(self, capsys):
+        assert main(["experiments", "E5", "--scale", "0.2", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| attempt |" in out

@@ -1,0 +1,76 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.util import BloomFilter
+
+
+class TestBasics:
+    def test_membership(self):
+        bf = BloomFilter(capacity=100)
+        bf.add(b"hello")
+        assert b"hello" in bf
+        assert b"world" not in bf
+
+    def test_count(self):
+        bf = BloomFilter(capacity=10)
+        for i in range(5):
+            bf.add(str(i).encode())
+        assert bf.count == 5
+
+    def test_clear(self):
+        bf = BloomFilter(capacity=10)
+        bf.add(b"x")
+        bf.clear()
+        assert b"x" not in bf
+        assert bf.count == 0
+        assert bf.saturation == 0.0
+
+    def test_salt_changes_hashing(self):
+        a = BloomFilter(capacity=100, salt=1)
+        b = BloomFilter(capacity=100, salt=2)
+        a.add(b"item")
+        b.add(b"item")
+        assert (a._bits != b._bits).any()
+
+    def test_fp_rate_near_target_at_capacity(self):
+        bf = BloomFilter(capacity=1000, fp_rate=0.01, salt=7)
+        for i in range(1000):
+            bf.add(f"present-{i}".encode())
+        false_positives = sum(
+            1 for i in range(10_000) if f"absent-{i}".encode() in bf
+        )
+        # allow generous slack: expect around 1%, fail above 3%
+        assert false_positives / 10_000 < 0.03
+
+    def test_saturation_monotone(self):
+        bf = BloomFilter(capacity=50, salt=3)
+        last = 0.0
+        for i in range(50):
+            bf.add(str(i).encode())
+            assert bf.saturation >= last
+            last = bf.saturation
+
+    @pytest.mark.parametrize("cap,fp", [(0, 0.01), (-5, 0.01), (10, 0.0), (10, 1.0)])
+    def test_invalid_parameters(self, cap, fp):
+        with pytest.raises(ReproError):
+            BloomFilter(capacity=cap, fp_rate=fp)
+
+
+class TestNoFalseNegatives:
+    """The defining Bloom-filter property: inserted items are always found.
+
+    SPIE traceback correctness depends on this — a router must never deny
+    having seen a packet it forwarded.
+    """
+
+    @given(items=st.lists(st.binary(min_size=1, max_size=64), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_every_inserted_item_is_member(self, items):
+        bf = BloomFilter(capacity=max(len(items), 8))
+        for item in items:
+            bf.add(item)
+        for item in items:
+            assert item in bf

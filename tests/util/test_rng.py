@@ -1,0 +1,34 @@
+"""Unit tests for deterministic RNG derivation."""
+
+import numpy as np
+
+from repro.util import derive_rng, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_same_seed_same_stream(self):
+        a = derive_rng(42, "attack", 3)
+        b = derive_rng(42, "attack", 3)
+        assert a.random() == b.random()
+
+    def test_different_keys_different_streams(self):
+        a = derive_rng(42, "attack", 3)
+        b = derive_rng(42, "attack", 4)
+        c = derive_rng(42, "defense", 3)
+        values = {a.random(), b.random(), c.random()}
+        assert len(values) == 3
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert derive_rng(g, "ignored") is g
+
+    def test_none_seed_is_deterministic(self):
+        assert derive_rng(None, "x").random() == derive_rng(None, "x").random()
+
+    def test_string_and_int_keys_mix(self):
+        assert derive_rng(1, "a", 2).random() != derive_rng(1, "a", "2x").random()
+
+    def test_spawn_rngs_independent(self):
+        gens = spawn_rngs(9, 4, "workers")
+        assert len(gens) == 4
+        assert len({g.random() for g in gens}) == 4

@@ -1,0 +1,56 @@
+"""Unit tests for the result Table."""
+
+import pytest
+
+from repro.util import Table
+
+
+class TestTable:
+    def test_add_row_and_column(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.0)
+        assert t.column("a") == [1, 3]
+        assert len(t) == 2
+
+    def test_row_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_to_text_alignment(self):
+        t = Table("demo", ["name", "value"])
+        t.add_row("x", 1.0)
+        t.add_row("longer", 123456.0)
+        text = t.to_text()
+        assert "demo" in text
+        lines = text.splitlines()
+        header_idx = next(i for i, l in enumerate(lines) if "name" in l)
+        widths = {len(l) for l in lines[header_idx:header_idx + 4]}
+        assert len(widths) == 1  # all rows padded to identical width
+
+    def test_to_text_empty(self):
+        t = Table("empty", ["a"])
+        assert "empty" in t.to_text()
+
+    def test_notes_rendered(self):
+        t = Table("demo", ["a"])
+        t.add_note("a footnote")
+        assert "a footnote" in t.to_text()
+        assert "a footnote" in t.to_markdown()
+
+    def test_markdown_shape(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(True, 0.00012)
+        md = t.to_markdown()
+        assert "| a | b |" in md
+        assert "| yes | 0.00012 |" in md
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add_row(1234567.0)
+        t.add_row(0.25)
+        t.add_row(0)
+        text = t.to_text()
+        assert "1.23e+06" in text
+        assert "0.25" in text

@@ -1,0 +1,31 @@
+"""Unit tests for unit helpers."""
+
+from repro.util import Gbps, Kbps, Mbps, bytes_to_bits, fmt_rate, ms, us
+from repro.util.units import fmt_bytes
+
+
+class TestUnits:
+    def test_rates(self):
+        assert Kbps(1) == 1e3
+        assert Mbps(1) == 1e6
+        assert Gbps(2) == 2e9
+
+    def test_times(self):
+        import math
+
+        assert ms(5) == 0.005
+        assert math.isclose(us(5), 5e-6)
+
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(100) == 800
+
+    def test_fmt_rate(self):
+        assert fmt_rate(2.5e6) == "2.50 Mbit/s"
+        assert fmt_rate(1e9) == "1.00 Gbit/s"
+        assert fmt_rate(10) == "10 bit/s"
+        assert fmt_rate(2000) == "2.00 kbit/s"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3 * 1024**2) == "3.0 MiB"
+        assert fmt_bytes(10) == "10 B"
