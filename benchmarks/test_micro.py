@@ -51,6 +51,14 @@ def test_prefix_trie_lookup(benchmark, loaded_trie):
     benchmark(lookups)
 
 
+def test_prefix_compiled_batch_lookup(benchmark, loaded_trie):
+    """Vectorised LPM: one NumPy batch of 4096 addresses vs 10k routes."""
+    addrs = np.random.default_rng(2).integers(0, 2**32, 4096)
+    compiled = loaded_trie.compile()
+
+    benchmark(compiled.lookup_many, addrs)
+
+
 def test_device_redirect_decision(benchmark):
     """The per-packet `wants` check with 1000 subscribers installed."""
     device, users = build_device(1000)

@@ -23,6 +23,7 @@ on the spot.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
@@ -38,7 +39,11 @@ from repro.net.topology import ASRole
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
 
-__all__ = ["DeviceContext", "ServiceInstance", "AdaptiveDevice"]
+__all__ = ["DeviceContext", "ServiceInstance", "AdaptiveDevice",
+           "FLOW_CACHE_CAPACITY"]
+
+#: Default per-device LRU flow-cache capacity (distinct 4-tuples).
+FLOW_CACHE_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -101,6 +106,14 @@ class AdaptiveDevice:
         self.redirected = 0
         self.dropped = 0
         self.safety_disables = 0
+        #: router-style per-flow fast path: 4-tuple -> (src_owner,
+        #: dst_owner, redirect?), so repeat packets of a flow skip both
+        #: ownership LPM walks and the service-membership check.
+        self._flow_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._flow_cache_version = registry.version
+        self.flow_cache_capacity = FLOW_CACHE_CAPACITY
+        self.flow_cache_hits = 0
+        self.flow_cache_misses = 0
 
     # -------------------------------------------------------------- management
     def install(self, user: NetworkUser, src_graph: Optional[ComponentGraph] = None,
@@ -120,10 +133,14 @@ class AdaptiveDevice:
         if dst_graph is not None:
             instance.dst_graph = dst_graph
         instance.disabled_for_violation = False
+        self.invalidate_flow_cache()
         return instance
 
     def uninstall(self, user_id: str) -> bool:
-        return self.services.pop(user_id, None) is not None
+        removed = self.services.pop(user_id, None) is not None
+        if removed:
+            self.invalidate_flow_cache()
+        return removed
 
     def set_active(self, user_id: str, active: bool) -> None:
         try:
@@ -178,20 +195,73 @@ class AdaptiveDevice:
         return revived
 
     # -------------------------------------------------------------- fast path
+    def invalidate_flow_cache(self) -> None:
+        """Drop every cached per-flow decision (service set changed)."""
+        self._flow_cache.clear()
+
+    @property
+    def flow_cache_hit_rate(self) -> float:
+        """Fraction of flow lookups served from the cache so far."""
+        total = self.flow_cache_hits + self.flow_cache_misses
+        return self.flow_cache_hits / total if total else 0.0
+
+    def _flow_lookup(self, packet: Packet) -> tuple:
+        """Resolve ``(src_owner, dst_owner, redirect?)`` for the packet's
+        flow, caching by ``(src, dst, proto, dport)``.
+
+        Entries survive until the LRU evicts them, a service is installed
+        or uninstalled here, or the ownership registry changes (detected
+        via its version counter).
+        """
+        cache = self._flow_cache
+        if self._flow_cache_version != self.registry.version:
+            cache.clear()
+            self._flow_cache_version = self.registry.version
+        key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
+        entry = cache.get(key)
+        if entry is not None:
+            self.flow_cache_hits += 1
+            cache.move_to_end(key)
+            return entry
+        return self._flow_miss(key, packet)
+
+    def _flow_miss(self, key: tuple, packet: Packet) -> tuple:
+        """Slow path: resolve owners via the registry and cache the result."""
+        self.flow_cache_misses += 1
+        src_owner, dst_owner = self.registry.owners_of_packet(packet)
+        services = self.services
+        wants = ((src_owner is not None and src_owner.user_id in services)
+                 or (dst_owner is not None and dst_owner.user_id in services))
+        entry = (src_owner, dst_owner, wants)
+        cache = self._flow_cache
+        cache[key] = entry
+        if len(cache) > self.flow_cache_capacity:
+            cache.popitem(last=False)
+        return entry
+
     def wants(self, packet: Packet) -> bool:
         """Redirect decision: does a registered user with a service here own
-        this packet?  Everything else takes the router's direct path."""
-        src_owner, dst_owner = self.registry.owners_of_packet(packet)
-        for owner in (src_owner, dst_owner):
-            if owner is not None and owner.user_id in self.services:
-                return True
-        return False
+        this packet?  Everything else takes the router's direct path.
+
+        Mirrors :meth:`_flow_lookup` inline — this is the single hottest
+        call in the simulator, so it spends no extra stack frame on a hit.
+        """
+        if self._flow_cache_version != self.registry.version:
+            self._flow_cache.clear()
+            self._flow_cache_version = self.registry.version
+        key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
+        entry = self._flow_cache.get(key)
+        if entry is not None:
+            self.flow_cache_hits += 1
+            self._flow_cache.move_to_end(key)
+            return entry[2]
+        return self._flow_miss(key, packet)[2]
 
     def process(self, packet: Packet, now: float,
                 ingress_asn: Optional[int]) -> Optional[Packet]:
         """Run the two processing stages; None means the packet was dropped."""
         self.redirected += 1
-        src_owner, dst_owner = self.registry.owners_of_packet(packet)
+        src_owner, dst_owner, _ = self._flow_lookup(packet)
         local_origin = ingress_asn is None
         stages = [(src_owner, "source"), (dst_owner, "dest")]
         if self.stage_order == "dst-first":  # E13 ablation only

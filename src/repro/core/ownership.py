@@ -73,21 +73,19 @@ class NumberAuthority:
 
     def verify_ownership(self, holder_id: str, prefixes: Iterable[Prefix]) -> bool:
         """True iff every prefix is held by ``holder_id`` (directly or via a
-        covering allocation)."""
-        for prefix in prefixes:
-            exact = self._holders.lookup_exact(prefix)
-            if exact == holder_id:
-                continue
-            covering = self._holders.lookup(prefix.first)
-            if covering != holder_id:
-                return False
-            # the covering allocation must actually cover the whole prefix
-            cover_prefix = next(
-                (p for p, h in self._holders.items()
-                 if h == holder_id and p.contains_prefix(prefix)), None)
-            if cover_prefix is None:
-                return False
-        return True
+        covering allocation).
+
+        One trie walk along each prefix's bit path visits exactly the
+        allocations that cover it (at most 33), so verification cost is
+        independent of how many allocations the authority holds — the
+        previous implementation rescanned every allocation per prefix.
+        A holder's larger block vouches for any sub-prefix inside it, even
+        one that was separately sub-allocated onward.
+        """
+        return all(
+            any(holder == holder_id for _, holder in self._holders.covering(prefix))
+            for prefix in prefixes
+        )
 
     def allocations_of(self, holder_id: str) -> list[Prefix]:
         return sorted(p for p, h in self._holders.items() if h == holder_id)
@@ -104,6 +102,10 @@ class OwnershipRegistry:
     def __init__(self) -> None:
         self._table: PrefixTable[NetworkUser] = PrefixTable()
         self._users: dict[str, NetworkUser] = {}
+        #: mutation counter (plain attribute: read on every cached redirect
+        #: decision); devices key their per-flow caches on it so a
+        #: ``register``/``unregister`` invalidates every cached decision.
+        self.version = 0
 
     def register(self, user: NetworkUser) -> None:
         """Add (or extend) a user's registered prefixes."""
@@ -115,6 +117,7 @@ class OwnershipRegistry:
                 )
             self._table.insert(prefix, user)
         self._users[user.user_id] = user
+        self.version += 1
 
     def unregister(self, user_id: str) -> None:
         user = self._users.pop(user_id, None)
@@ -122,6 +125,7 @@ class OwnershipRegistry:
             raise OwnershipError(f"unknown user {user_id!r}")
         for prefix in user.prefixes:
             self._table.remove(prefix)
+        self.version += 1
 
     def owner_of(self, addr: IPv4Address | int | str) -> Optional[NetworkUser]:
         """The registered user owning this address (LPM), or None."""

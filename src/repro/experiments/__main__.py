@@ -6,15 +6,21 @@ Usage::
     python -m repro.experiments E2 E4        # a subset
     python -m repro.experiments --scale 0.3  # faster, smaller
     python -m repro.experiments --markdown   # EXPERIMENTS.md-ready output
+    python -m repro.experiments -j 8         # fan out across 8 processes
+
+Parallel runs produce byte-identical tables to serial ones: every
+experiment derives all randomness from the root seed, so ``-j`` only
+changes the wall clock.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from repro.experiments.common import ExperimentConfig, run_all
+from repro.experiments.common import ExperimentConfig, run_all, run_parallel
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,12 +33,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--markdown", action="store_true",
                         help="emit GitHub-flavoured markdown tables")
+    parser.add_argument("--parallel", "-j", type=int, default=1, metavar="N",
+                        nargs="?", const=os.cpu_count() or 1,
+                        help="fan experiments (and their sweeps) out across "
+                             "N worker processes (default 1 = serial; bare "
+                             "-j uses all cores)")
     args = parser.parse_args(argv)
 
-    cfg = ExperimentConfig(seed=args.seed, scale=args.scale)
+    workers = max(1, args.parallel or 1)
+    cfg = ExperimentConfig(seed=args.seed, scale=args.scale, workers=workers)
     only = args.experiments or None
     started = time.perf_counter()
-    results = run_all(cfg, only=only)
+    if workers > 1:
+        results = run_parallel(cfg, only=only, max_workers=workers)
+    else:
+        results = run_all(cfg, only=only)
     for exp_id, tables in results.items():
         for table in tables:
             print(table.to_markdown() if args.markdown else table.to_text())

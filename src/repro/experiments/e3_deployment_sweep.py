@@ -15,13 +15,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentConfig, register
+from repro.experiments.common import ExperimentConfig, parallel_map, register
 from repro.mitigation import IngressFiltering, RouteBasedFiltering
 from repro.net import Flow, FlowSet, FluidNetwork, TopologyBuilder
 from repro.util.rng import derive_rng
 from repro.util.tables import Table
 
 __all__ = ["run", "sweep_table", "spoofed_flood_flows"]
+
+#: One parallelisable sweep point: (cfg, trial index, n_ases, n_agents).
+_SweepPoint = tuple[ExperimentConfig, int, int, int]
 
 FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0)
 
@@ -42,6 +45,47 @@ def spoofed_flood_flows(topology, victim_asn: int, n_agents: int,
     return flows
 
 
+def _sweep_trial(point: _SweepPoint) -> dict[float, tuple[float, float, float]]:
+    """One topology trial of the deployment sweep (a parallel work unit).
+
+    Everything stochastic comes from the trial's own derived rng, so trials
+    can run in any process in any order and still reproduce the serial
+    sweep exactly.
+    """
+    cfg, trial, n_ases, n_agents = point
+    topo = TopologyBuilder.powerlaw(n=n_ases, m=2, seed=cfg.seed + trial)
+    fluid = FluidNetwork(topo)
+    rng = derive_rng(cfg.seed, "e3", trial)
+    victim_asn = int(topo.stub_ases[int(rng.integers(0, len(topo.stub_ases)))])
+    flows = spoofed_flood_flows(topo, victim_asn, n_agents, rng)
+    by_degree = sorted(topo.as_numbers, key=lambda a: -topo.degree(a))
+    stubs = list(topo.stub_ases)
+    shuffled_all = list(topo.as_numbers)
+    rng.shuffle(stubs)
+    rng.shuffle(shuffled_all)
+    result: dict[float, tuple[float, float, float]] = {}
+    for fraction in FRACTIONS:
+        # (a) ingress at a random `fraction` of stub ASes
+        ing = IngressFiltering()
+        ing.deployed_asns = set(stubs[: int(round(fraction * len(stubs)))])
+        r_ing = fluid.evaluate(flows, filters=[ing.fluid_filter()],
+                               congestion=False)
+        # (b) route-based at the top-degree `fraction` of all ASes
+        rbf = RouteBasedFiltering()
+        rbf.deployed_asns = set(by_degree[: int(round(fraction * n_ases))])
+        r_rbf = fluid.evaluate(flows, filters=[rbf.bind_fluid(fluid)],
+                               congestion=False)
+        # (c) route-based at random ASes (placement matters!)
+        rbf_rand = RouteBasedFiltering()
+        rbf_rand.deployed_asns = set(shuffled_all[: int(round(fraction * n_ases))])
+        r_rand = fluid.evaluate(flows, filters=[rbf_rand.bind_fluid(fluid)],
+                                congestion=False)
+        result[fraction] = (r_ing.survival_fraction("attack"),
+                            r_rbf.survival_fraction("attack"),
+                            r_rand.survival_fraction("attack"))
+    return result
+
+
 def sweep_table(cfg: ExperimentConfig) -> Table:
     n_ases = cfg.scaled(400, minimum=60)
     n_agents = cfg.scaled(200, minimum=20)
@@ -51,37 +95,15 @@ def sweep_table(cfg: ExperimentConfig) -> Table:
         "(Sec. 3.2, Park & Lee [15] setting)",
         ["fraction", "ingress@random-stubs", "rbf@top-degree", "rbf@random"],
     )
+    points: list[_SweepPoint] = [(cfg, trial, n_ases, n_agents)
+                                 for trial in range(n_trials)]
+    per_trial = parallel_map(_sweep_trial, points, workers=cfg.workers)
     rows: dict[float, list[list[float]]] = {f: [[], [], []] for f in FRACTIONS}
-    for trial in range(n_trials):
-        topo = TopologyBuilder.powerlaw(n=n_ases, m=2, seed=cfg.seed + trial)
-        fluid = FluidNetwork(topo)
-        rng = derive_rng(cfg.seed, "e3", trial)
-        victim_asn = int(topo.stub_ases[int(rng.integers(0, len(topo.stub_ases)))])
-        flows = spoofed_flood_flows(topo, victim_asn, n_agents, rng)
-        by_degree = sorted(topo.as_numbers, key=lambda a: -topo.degree(a))
-        stubs = list(topo.stub_ases)
-        shuffled_all = list(topo.as_numbers)
-        rng.shuffle(stubs)
-        rng.shuffle(shuffled_all)
-        for fraction in FRACTIONS:
-            # (a) ingress at a random `fraction` of stub ASes
-            ing = IngressFiltering()
-            ing.deployed_asns = set(stubs[: int(round(fraction * len(stubs)))])
-            r_ing = fluid.evaluate(flows, filters=[ing.fluid_filter()],
-                                   congestion=False)
-            # (b) route-based at the top-degree `fraction` of all ASes
-            rbf = RouteBasedFiltering()
-            rbf.deployed_asns = set(by_degree[: int(round(fraction * n_ases))])
-            r_rbf = fluid.evaluate(flows, filters=[rbf.bind_fluid(fluid)],
-                                   congestion=False)
-            # (c) route-based at random ASes (placement matters!)
-            rbf_rand = RouteBasedFiltering()
-            rbf_rand.deployed_asns = set(shuffled_all[: int(round(fraction * n_ases))])
-            r_rand = fluid.evaluate(flows, filters=[rbf_rand.bind_fluid(fluid)],
-                                    congestion=False)
-            rows[fraction][0].append(r_ing.survival_fraction("attack"))
-            rows[fraction][1].append(r_rbf.survival_fraction("attack"))
-            rows[fraction][2].append(r_rand.survival_fraction("attack"))
+    for trial_result in per_trial:
+        for fraction, (s_ing, s_rbf, s_rand) in trial_result.items():
+            rows[fraction][0].append(s_ing)
+            rows[fraction][1].append(s_rbf)
+            rows[fraction][2].append(s_rand)
     for fraction in FRACTIONS:
         ing_mean, rbf_mean, rand_mean = (float(np.mean(v)) for v in rows[fraction])
         table.add_row(fraction, round(ing_mean, 3), round(rbf_mean, 3),

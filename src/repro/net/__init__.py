@@ -9,6 +9,7 @@ every router carries an optional adaptive-device hook (paper Fig. 2).
 
 from repro.net.addressing import (
     AddressAllocator,
+    CompiledPrefixTable,
     HostAddressPool,
     IPv4Address,
     Prefix,
@@ -31,6 +32,7 @@ __all__ = [
     "IPv4Address",
     "Prefix",
     "PrefixTable",
+    "CompiledPrefixTable",
     "AddressAllocator",
     "HostAddressPool",
     "summarize",

@@ -14,12 +14,21 @@ the matching semantics implemented here.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Generic, Iterable, Iterator, Optional, TypeVar
 
+import numpy as np
+
 from repro.errors import AddressError
 
-__all__ = ["IPv4Address", "Prefix", "PrefixTable", "AddressAllocator"]
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "PrefixTable",
+    "CompiledPrefixTable",
+    "AddressAllocator",
+]
 
 _MAX = 0xFFFFFFFF
 
@@ -173,12 +182,93 @@ class _TrieNode(Generic[T]):
         self.has_value = False
 
 
+class CompiledPrefixTable(Generic[T]):
+    """A :class:`PrefixTable` frozen into sorted flat interval arrays.
+
+    Longest-prefix match over a *fixed* rule set is piecewise constant over
+    the address space: projecting every prefix onto its ``[base, base+size)``
+    interval and resolving each elementary interval once turns per-packet
+    LPM into a single binary search — the same flattening trick compiled
+    line-rate pipelines use instead of walking a trie per packet.
+
+    ``lookup`` is an O(log n) scalar bisect; ``lookup_many`` vectorises whole
+    address batches through :func:`numpy.searchsorted`.  The structure is a
+    snapshot: mutate the source trie and :meth:`PrefixTable.compile` again.
+    """
+
+    __slots__ = ("_starts", "_starts_np", "_values", "_value_ids", "_size")
+
+    def __init__(self, table: "PrefixTable[T]") -> None:
+        bounds = {0}
+        size = 0
+        for prefix, _ in table.items():
+            size += 1
+            bounds.add(prefix.base)
+            end = prefix.base + prefix.num_addresses
+            if end <= _MAX:
+                bounds.add(end)
+        starts = sorted(bounds)
+        # one slow trie walk per elementary interval, then merge runs whose
+        # resolved value is the same object
+        merged_starts: list[int] = []
+        values: list[Optional[T]] = []
+        for start in starts:
+            value = table._lookup_trie(start)
+            if values and values[-1] is value:
+                continue
+            merged_starts.append(start)
+            values.append(value)
+        self._size = size
+        self._starts = merged_starts
+        self._values = values
+        self._starts_np = np.asarray(merged_starts, dtype=np.int64)
+        self._value_ids = np.empty(len(values), dtype=object)
+        self._value_ids[:] = values
+
+    def lookup(self, addr: "IPv4Address | int | str") -> Optional[T]:
+        """Longest-prefix-match lookup; None when nothing matches."""
+        a = addr if type(addr) is int else _as_int(addr)
+        return self._values[bisect_right(self._starts, a) - 1]
+
+    def lookup_many(self, addrs) -> np.ndarray:
+        """Vectorised LPM for a batch of integer addresses.
+
+        ``addrs`` is anything :func:`numpy.asarray` accepts (a list of ints,
+        an integer ndarray, ...); returns an object ndarray of matched
+        values (``None`` where nothing matches), aligned with the input.
+        """
+        arr = np.asarray(addrs, dtype=np.int64)
+        idx = np.searchsorted(self._starts_np, arr, side="right") - 1
+        return self._value_ids[idx]
+
+    def __contains__(self, addr: "IPv4Address | int | str") -> bool:
+        return self.lookup(addr) is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def intervals(self) -> int:
+        """Number of distinct-value elementary intervals (diagnostics)."""
+        return len(self._starts)
+
+
+#: Slow trie lookups tolerated after a mutation before ``PrefixTable``
+#: recompiles its flat fast path (keeps insert/lookup interleavings cheap).
+_COMPILE_AFTER_LOOKUPS = 16
+
+
 class PrefixTable(Generic[T]):
     """Binary trie mapping prefixes to values with longest-prefix match.
 
     The workhorse behind routing tables, ownership registries, and the
     adaptive device's "is this packet owned by a registered user?" redirect
     decision (paper Sec. 4.1/Fig. 2).
+
+    Lookup-heavy phases run on a compiled flat-interval snapshot
+    (:class:`CompiledPrefixTable`) built automatically once enough lookups
+    hit an unchanged table; ``insert``/``remove`` invalidate it, so
+    correctness never depends on callers knowing about compilation.
 
     >>> t = PrefixTable()
     >>> t.insert(Prefix.parse("10.0.0.0/8"), "coarse")
@@ -192,6 +282,29 @@ class PrefixTable(Generic[T]):
     def __init__(self) -> None:
         self._root: _TrieNode[T] = _TrieNode()
         self._size = 0
+        self._version = 0
+        self._compiled: Optional[CompiledPrefixTable[T]] = None
+        self._lookups_since_change = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumps on every ``insert``/``remove``."""
+        return self._version
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._compiled = None
+        self._lookups_since_change = 0
+
+    def compile(self) -> CompiledPrefixTable[T]:
+        """Freeze the current rule set into a flat-interval LPM table.
+
+        The snapshot is cached and served to subsequent ``lookup`` calls
+        until the next mutation.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledPrefixTable(self)
+        return self._compiled
 
     def insert(self, prefix: Prefix, value: T) -> None:
         """Insert or replace the value for an exact prefix."""
@@ -207,6 +320,7 @@ class PrefixTable(Generic[T]):
             self._size += 1
         node.value = value
         node.has_value = True
+        self._invalidate()
 
     def remove(self, prefix: Prefix) -> bool:
         """Remove an exact prefix; returns True if it was present."""
@@ -221,11 +335,12 @@ class PrefixTable(Generic[T]):
             node.has_value = False
             node.value = None
             self._size -= 1
+            self._invalidate()
             return True
         return False
 
-    def lookup(self, addr: "IPv4Address | int | str") -> Optional[T]:
-        """Longest-prefix-match lookup; None when nothing matches."""
+    def _lookup_trie(self, addr: "IPv4Address | int | str") -> Optional[T]:
+        """The original bit-by-bit trie walk (slow path, always correct)."""
         value = self._root.value if self._root.has_value else None
         node = self._root
         a = _as_int(addr)
@@ -236,6 +351,37 @@ class PrefixTable(Generic[T]):
             if node.has_value:
                 value = node.value
         return value
+
+    def lookup(self, addr: "IPv4Address | int | str") -> Optional[T]:
+        """Longest-prefix-match lookup; None when nothing matches."""
+        compiled = self._compiled
+        if compiled is not None:
+            a = addr if type(addr) is int else _as_int(addr)
+            return compiled._values[bisect_right(compiled._starts, a) - 1]
+        self._lookups_since_change += 1
+        if self._lookups_since_change >= _COMPILE_AFTER_LOOKUPS:
+            return self.compile().lookup(addr)
+        return self._lookup_trie(addr)
+
+    def lookup_many(self, addrs) -> np.ndarray:
+        """Vectorised LPM over a batch of addresses (compiles if needed)."""
+        return self.compile().lookup_many(addrs)
+
+    def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, T]]:
+        """Yield stored entries whose prefix covers ``prefix``, shortest
+        first (at most 33 — one per level on the trie path)."""
+        node: Optional[_TrieNode[T]] = self._root
+        if node.has_value:
+            yield Prefix(0, 0), node.value  # type: ignore[misc]
+        base = 0
+        for i in range(prefix.length):
+            bit = (prefix.base >> (31 - i)) & 1
+            node = node.children[bit]
+            if node is None:
+                return
+            base |= bit << (31 - i)
+            if node.has_value:
+                yield Prefix(base, i + 1), node.value  # type: ignore[misc]
 
     def lookup_exact(self, prefix: Prefix) -> Optional[T]:
         """Exact-prefix lookup (no LPM)."""

@@ -1,36 +1,63 @@
 """Deterministic discrete-event simulation engine.
 
 A minimal but complete event loop: a binary heap of ``(time, seq, event)``
-where ``seq`` is a monotone tiebreaker, so runs are bit-for-bit reproducible
-regardless of callback identity.  All network elements (links, hosts,
-attack processes, trigger components) schedule callbacks here.
+tuples where ``seq`` is a monotone tiebreaker, so runs are bit-for-bit
+reproducible regardless of callback identity.  All network elements (links,
+hosts, attack processes, trigger components) schedule callbacks here.
+
+Hot-path notes: heap entries are plain tuples so every sift comparison runs
+in C (no Python ``__lt__`` dispatch), :class:`Event` is a ``__slots__``
+class rather than a dataclass, and cancelled-event tombstones are swept out
+by periodic heap compaction instead of lingering until their pop time.
+Compaction filters the backing list and re-heapifies; because ``(time,
+seq)`` is a total order, the pop sequence — and therefore simulation
+output — is unchanged bit for bit.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
 __all__ = ["Event", "Simulator"]
 
+#: Compact the heap once at least this many tombstones have accumulated
+#: *and* they outnumber the live events.
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.  Ordered by (time, seq)."""
 
-    time: float
-    seq: int
-    fn: Callable[..., Any] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple = (), cancelled: bool = False,
+                 _sim: "Optional[Simulator]" = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = cancelled
+        self._sim = _sim
 
     def cancel(self) -> None:
-        """Prevent the event from firing (O(1); it stays in the heap)."""
-        self.cancelled = True
+        """Prevent the event from firing (O(1); it stays in the heap until
+        the next compaction sweep or its pop time)."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}{state})"
 
 
 class Simulator:
@@ -46,10 +73,11 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._cancelled_pending = 0
         self.running = False
 
     @property
@@ -63,7 +91,8 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
+        """Number of events still in the heap (including cancelled ones
+        not yet swept by compaction)."""
         return len(self._heap)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -76,8 +105,8 @@ class Simulator:
         """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
         if time < self._now:
             raise SimulationError(f"cannot schedule at {time:.6f} < now {self._now:.6f}")
-        ev = Event(time=time, seq=next(self._seq), fn=fn, args=args)
-        heapq.heappush(self._heap, ev)
+        ev = Event(time, next(self._seq), fn, args, False, self)
+        heapq.heappush(self._heap, (time, ev.seq, ev))
         return ev
 
     def schedule_every(self, interval: float, fn: Callable[..., Any], *args: Any,
@@ -101,23 +130,42 @@ class Simulator:
 
         return self.schedule_at(first, tick)
 
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+        if (self._cancelled_pending >= _COMPACT_MIN_CANCELLED
+                and self._cancelled_pending * 2 >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones and re-heapify.
+
+        ``(time, seq)`` totally orders entries, so rebuilding the heap
+        cannot change the order live events pop in.
+        """
+        # in-place so aliases held by a running `run()` loop stay valid
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Process events until the heap drains, ``until`` is reached, or
         ``max_events`` have fired.  Returns the number of events processed."""
         processed_before = self._processed
+        heap = self._heap
         self.running = True
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and self._processed - processed_before >= max_events:
                     break
-                ev = self._heap[0]
-                if until is not None and ev.time > until:
+                time, _, ev = heap[0]
+                if until is not None and time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
                 if ev.cancelled:
+                    self._cancelled_pending -= 1
                     continue
-                self._now = ev.time
+                self._now = time
                 ev.fn(*ev.args)
                 self._processed += 1
             else:
@@ -128,10 +176,17 @@ class Simulator:
         return self._processed - processed_before
 
     def reset(self) -> None:
-        """Discard all pending events and rewind the clock to zero."""
+        """Discard all pending events and rewind the clock to zero.
+
+        Also restarts the ``seq`` tiebreaker, so a reset simulator
+        reproduces a fresh one bit for bit (same-timestamp events fire in
+        the same order and carry the same ``seq`` values).
+        """
         self._heap.clear()
         self._now = 0.0
         self._processed = 0
+        self._cancelled_pending = 0
+        self._seq = itertools.count()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

@@ -53,6 +53,41 @@ class TestNumberAuthority:
         # idempotent for the same holder
         na.record_allocation(P("10.1.0.0/16"), "acme")
 
+    def test_suballocation_covered_by_larger_block(self):
+        """Regression: a holder's larger block vouches for a sub-prefix even
+        when that sub-prefix was separately sub-allocated onward — the old
+        address-level LPM check saw only the deeper allocation and refused."""
+        na = NumberAuthority()
+        na.record_allocation(P("10.0.0.0/8"), "acme")
+        na.record_allocation(P("10.1.0.0/16"), "globex")
+        assert na.verify_ownership("globex", [P("10.1.0.0/16")])
+        assert na.verify_ownership("acme", [P("10.1.0.0/16")])
+        assert na.verify_ownership("acme", [P("10.2.0.0/16")])
+        assert not na.verify_ownership("globex", [P("10.2.0.0/16")])
+        assert not na.verify_ownership("evil", [P("10.1.0.0/16")])
+
+    def test_covering_block_must_cover_whole_prefix(self):
+        """Holding a piece of a range is not holding the range."""
+        na = NumberAuthority()
+        na.record_allocation(P("10.0.0.0/16"), "acme")
+        assert not na.verify_ownership("acme", [P("10.0.0.0/8")])
+
+    def test_verify_scales_independent_of_allocation_count(self):
+        """The covering walk touches only the prefix's trie path, so cost
+        is flat in the number of recorded allocations."""
+        na = NumberAuthority()
+        for i in range(2000):
+            na.record_allocation(Prefix((i + 1) << 16, 16), f"holder-{i}")
+        import time
+        start = time.perf_counter()
+        for _ in range(200):
+            assert na.verify_ownership("holder-7", [Prefix(8 << 16, 16)])
+            assert not na.verify_ownership("holder-7", [Prefix(9 << 16, 16)])
+        elapsed = time.perf_counter() - start
+        # 400 verifications against 2000 allocations: the old O(n) items()
+        # scan took seconds here; the walk takes milliseconds
+        assert elapsed < 0.5
+
     def test_holder_of_and_allocations(self):
         na = NumberAuthority()
         na.record_allocation(P("10.1.0.0/16"), "acme")

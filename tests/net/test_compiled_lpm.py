@@ -1,0 +1,169 @@
+"""Compiled (flat-interval) LPM must agree with the trie bit for bit.
+
+The compiled fast path is pure optimisation: these tests pin the contract
+that no sequence of inserts, removes and lookups can ever make
+``PrefixTable.lookup`` (auto-compiling), ``CompiledPrefixTable.lookup`` or
+``lookup_many`` disagree with the reference trie walk.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.net import CompiledPrefixTable, Prefix, PrefixTable
+from repro.net.addressing import _COMPILE_AFTER_LOOKUPS
+
+
+def build_table(entries):
+    t = PrefixTable()
+    for v, length in entries:
+        p = Prefix.make(v, length)
+        t.insert(p, str(p))
+    return t
+
+
+entries_st = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=32),
+    ),
+    min_size=1, max_size=60,
+)
+queries_st = st.lists(
+    st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=40)
+
+
+class TestCompiledMatchesTrie:
+    @given(entries=entries_st, queries=queries_st)
+    @settings(max_examples=60)
+    def test_scalar_lookup_matches(self, entries, queries):
+        t = build_table(entries)
+        compiled = t.compile()
+        for q in queries:
+            assert compiled.lookup(q) == t._lookup_trie(q)
+
+    @given(entries=entries_st, queries=queries_st)
+    @settings(max_examples=60)
+    def test_lookup_many_matches_scalar(self, entries, queries):
+        t = build_table(entries)
+        compiled = t.compile()
+        batch = compiled.lookup_many(np.array(queries, dtype=np.int64))
+        assert list(batch) == [t._lookup_trie(q) for q in queries]
+
+    @given(entries=entries_st, queries=queries_st,
+           drop=st.data())
+    @settings(max_examples=40)
+    def test_matches_after_removals(self, entries, queries, drop):
+        t = build_table(entries)
+        prefixes = [p for p, _ in t.items()]
+        to_remove = drop.draw(st.lists(st.sampled_from(prefixes), max_size=10))
+        for p in to_remove:
+            t.remove(p)
+        compiled = t.compile()
+        for q in queries:
+            assert compiled.lookup(q) == t._lookup_trie(q)
+
+    @given(entries=entries_st, queries=queries_st)
+    @settings(max_examples=40)
+    def test_auto_fast_path_transparent(self, entries, queries):
+        """Hammering lookup() past the compile threshold changes nothing."""
+        t = build_table(entries)
+        expected = {q: t._lookup_trie(q) for q in queries}
+        for _ in range(_COMPILE_AFTER_LOOKUPS + 1):
+            t.lookup(queries[0])
+        assert t._compiled is not None  # fast path engaged
+        for q in queries:
+            assert t.lookup(q) == expected[q]
+
+
+class TestInvalidation:
+    def test_insert_invalidates_compiled(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        assert t.compile().lookup("10.1.2.3") == "coarse"
+        t.insert(Prefix.parse("10.1.0.0/16"), "fine")
+        assert t._compiled is None
+        assert t.compile().lookup("10.1.2.3") == "fine"
+
+    def test_remove_invalidates_compiled(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.0.0.0/8"), "coarse")
+        t.insert(Prefix.parse("10.1.0.0/16"), "fine")
+        assert t.compile().lookup("10.1.2.3") == "fine"
+        t.remove(Prefix.parse("10.1.0.0/16"))
+        assert t.lookup("10.1.2.3") == "coarse"
+
+    def test_version_bumps_on_mutation_only(self):
+        t = PrefixTable()
+        v0 = t.version
+        t.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert t.version == v0 + 1
+        t.lookup("10.0.0.1")
+        assert t.version == v0 + 1
+        t.remove(Prefix.parse("10.0.0.0/8"))
+        assert t.version == v0 + 2
+        # removing something absent is not a mutation
+        t.remove(Prefix.parse("10.0.0.0/8"))
+        assert t.version == v0 + 2
+
+    def test_interleaved_insert_lookup_stays_correct(self):
+        t = PrefixTable()
+        for i in range(64):
+            t.insert(Prefix((i + 1) << 16, 16), i)
+            for j in range(i + 1):
+                assert t.lookup(((j + 1) << 16) + 5) == j
+
+
+class TestCompiledEdges:
+    def test_empty_table(self):
+        t = PrefixTable()
+        compiled = t.compile()
+        assert compiled.lookup("1.2.3.4") is None
+        assert len(compiled) == 0
+        assert list(compiled.lookup_many([0, 2**32 - 1])) == [None, None]
+
+    def test_default_route_and_extremes(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("0.0.0.0/0"), "default")
+        t.insert(Prefix.parse("255.255.255.255/32"), "top")
+        compiled = t.compile()
+        assert compiled.lookup(0) == "default"
+        assert compiled.lookup(2**32 - 1) == "top"
+        assert compiled.lookup(2**32 - 2) == "default"
+        assert "1.2.3.4" in compiled
+        assert len(compiled) == 2
+
+    def test_identity_preserved(self):
+        """Compiled lookups return the *same object* the trie stores."""
+        t = PrefixTable()
+        value = object()
+        t.insert(Prefix.parse("10.0.0.0/8"), value)
+        assert t.compile().lookup("10.1.2.3") is value
+
+    def test_standalone_construction(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.0.0.0/8"), "x")
+        compiled = CompiledPrefixTable(t)
+        assert compiled.lookup("10.0.0.1") == "x"
+        assert compiled.intervals >= 2
+
+
+class TestCovering:
+    def test_covering_walk(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("0.0.0.0/0"), "root")
+        t.insert(Prefix.parse("10.0.0.0/8"), "eight")
+        t.insert(Prefix.parse("10.1.0.0/16"), "sixteen")
+        t.insert(Prefix.parse("11.0.0.0/8"), "other")
+        covering = list(t.covering(Prefix.parse("10.1.2.0/24")))
+        assert [v for _, v in covering] == ["root", "eight", "sixteen"]
+        assert [p.length for p, _ in covering] == [0, 8, 16]
+
+    def test_covering_includes_exact(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.1.0.0/16"), "me")
+        assert [v for _, v in t.covering(Prefix.parse("10.1.0.0/16"))] == ["me"]
+
+    def test_covering_excludes_more_specific(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.1.0.0/16"), "deep")
+        assert list(t.covering(Prefix.parse("10.0.0.0/8"))) == []

@@ -100,6 +100,35 @@ class TestScheduling:
         assert sim.now == 0.0
         assert sim.pending == 0
 
+    def test_reset_restarts_seq_tiebreaker(self):
+        """A reset simulator must be bit-for-bit identical to a fresh one,
+        including the seq values it assigns (regression: ``_seq`` used to
+        keep counting across resets)."""
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        ev = sim.schedule(1.0, lambda: None)
+        fresh_ev = Simulator().schedule(1.0, lambda: None)
+        assert ev.seq == fresh_ev.seq == 0
+
+    def test_reset_then_replay_matches_fresh(self):
+        def fill(sim, out):
+            for i in range(4):
+                sim.schedule(1.0, out.append, i)
+            sim.schedule(0.5, out.append, "first")
+            sim.run()
+
+        fresh_out: list = []
+        fill(Simulator(), fresh_out)
+        reused = Simulator()
+        fill(reused, [])
+        reused.reset()
+        reused_out: list = []
+        fill(reused, reused_out)
+        assert reused_out == fresh_out
+
 
 class TestPeriodic:
     def test_schedule_every(self):
@@ -132,6 +161,50 @@ class TestPeriodic:
         sim = Simulator()
         with pytest.raises(SimulationError):
             sim.schedule_every(0.0, lambda: None)
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+        for ev in events[:900]:
+            ev.cancel()
+        # tombstones swept once they dominate, without waiting for pop time
+        assert sim.pending < 1000
+
+    def test_compaction_preserves_ordering(self):
+        sim = Simulator()
+        out = []
+        events = [sim.schedule(float(i % 7), out.append, i) for i in range(500)]
+        keep = {i for i in range(500) if i % 3 == 0}
+        for i, ev in enumerate(events):
+            if i not in keep:
+                ev.cancel()
+        sim.run()
+        expected = sorted(keep, key=lambda i: (float(i % 7), i))
+        assert out == expected
+
+    def test_cancel_during_run_is_safe(self):
+        sim = Simulator()
+        out = []
+        later = [sim.schedule(2.0 + i * 1e-6, out.append, i) for i in range(200)]
+
+        def cancel_most():
+            for ev in later[:190]:
+                ev.cancel()
+
+        sim.schedule(1.0, cancel_most)
+        sim.run()
+        assert out == list(range(190, 200))
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim._cancelled_pending == 1
+        sim.run()
+        assert sim._cancelled_pending == 0
 
 
 class TestDeterminism:

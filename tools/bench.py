@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Run the micro-benchmarks and record the perf trajectory.
+
+Usage::
+
+    python tools/bench.py                      # run, write BENCH_micro.json
+    python tools/bench.py --out /tmp/now.json  # write elsewhere
+    python tools/bench.py --compare old.json   # run, then print speedups
+    python tools/bench.py --compare old.json --against BENCH_micro.json
+                                               # compare two existing files
+
+Executes ``benchmarks/test_micro.py`` under pytest-benchmark, then distils
+its verbose JSON into a small, diff-friendly ``BENCH_micro.json`` at the
+repo root: median / mean / stddev seconds and rounds per benchmark.  Commit
+the file so every PR's perf effect is visible in review, and compare any
+two snapshots with ``--compare``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_micro.json"
+BENCH_FILE = "benchmarks/test_micro.py"
+
+
+def run_benchmarks(pytest_args: list[str]) -> dict:
+    """Run the micro-benchmark suite, returning pytest-benchmark's JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_path = Path(tmp) / "bench.json"
+        cmd = [sys.executable, "-m", "pytest", BENCH_FILE, "--benchmark-only",
+               f"--benchmark-json={raw_path}", "-q", *pytest_args]
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"pytest-benchmark failed (exit {proc.returncode})")
+        with open(raw_path) as fh:
+            return json.load(fh)
+
+
+def normalize(raw: dict) -> dict:
+    """Distil pytest-benchmark output to stable medians per benchmark."""
+    benchmarks = {}
+    for bench in sorted(raw.get("benchmarks", []), key=lambda b: b["name"]):
+        stats = bench["stats"]
+        benchmarks[bench["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    info = raw.get("machine_info", {})
+    return {
+        "suite": BENCH_FILE,
+        "generated_by": "tools/bench.py",
+        "python": info.get("python_version"),
+        "benchmarks": benchmarks,
+    }
+
+
+def _medians(snapshot: dict) -> dict:
+    """Benchmark name -> stats, accepting normalized or raw pytest JSON."""
+    if isinstance(snapshot.get("benchmarks"), list):
+        snapshot = normalize(snapshot)
+    return snapshot["benchmarks"]
+
+
+def compare(baseline: dict, current: dict) -> str:
+    """Render a speedup table: baseline medians vs current medians."""
+    base = _medians(baseline)
+    cur = _medians(current)
+    lines = [f"{'benchmark':42} {'before':>12} {'after':>12} {'speedup':>8}"]
+    for name in sorted(set(base) | set(cur)):
+        if name not in base or name not in cur:
+            only = "before only" if name in base else "after only"
+            lines.append(f"{name:42} {only:>34}")
+            continue
+        b, c = base[name]["median_s"], cur[name]["median_s"]
+        ratio = b / c if c else float("inf")
+        lines.append(f"{name:42} {b * 1e6:10.1f}us {c * 1e6:10.1f}us "
+                     f"{ratio:7.2f}x")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"normalized output path (default {DEFAULT_OUT})")
+    parser.add_argument("--compare", type=Path, metavar="BASELINE",
+                        help="print a speedup table against this snapshot")
+    parser.add_argument("--against", type=Path, metavar="CURRENT",
+                        help="with --compare: use this existing snapshot "
+                             "instead of running the suite")
+    parser.add_argument("pytest_args", nargs="*",
+                        help="extra arguments forwarded to pytest (prefix "
+                             "with -- to separate)")
+    args = parser.parse_args(argv)
+
+    if args.compare and args.against:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        with open(args.against) as fh:
+            current = json.load(fh)
+        print(compare(baseline, current))
+        return 0
+
+    normalized = normalize(run_benchmarks(args.pytest_args))
+    args.out.write_text(json.dumps(normalized, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out} ({len(normalized['benchmarks'])} benchmarks)")
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        print(compare(baseline, normalized))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
