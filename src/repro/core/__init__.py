@@ -39,7 +39,8 @@ from repro.core.components import (
 from repro.core.graph import ComponentGraph
 from repro.core.safety import SafetyMonitor, vet_component, vet_graph
 from repro.core.device import AdaptiveDevice, DeviceContext, ServiceInstance
-from repro.core.nms import IspNms
+from repro.core.nms import DesiredService, IspNms
+from repro.core.rpc import CircuitBreaker, ControlChannel, RetryPolicy, RpcStats
 from repro.core.tcsp import Tcsp, IspContract
 from repro.core.deployment import DeploymentScope
 from repro.core.service import TrafficControlService
@@ -74,6 +75,11 @@ __all__ = [
     "DeviceContext",
     "ServiceInstance",
     "IspNms",
+    "DesiredService",
+    "ControlChannel",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "RpcStats",
     "Tcsp",
     "IspContract",
     "DeploymentScope",

@@ -106,6 +106,15 @@ class AdaptiveDevice:
         self.redirected = 0
         self.dropped = 0
         self.safety_disables = 0
+        #: crash/restart lifecycle (fault injection): a crashed device holds
+        #: no usable configuration.  ``fail_policy`` picks the Sec. 4.5
+        #: stance while down: "fail-open" lets owned traffic take the
+        #: router's direct path unfiltered; "fail-closed" drops owned
+        #: traffic until the NMS re-installs services after restart.
+        self.crashed = False
+        self.fail_policy = "fail-open"
+        self.crashes = 0
+        self.restarts = 0
         #: router-style per-flow fast path: 4-tuple -> (src_owner,
         #: dst_owner, redirect?), so repeat packets of a flow skip both
         #: ownership LPM walks and the service-membership check.
@@ -147,10 +156,38 @@ class AdaptiveDevice:
             self.services[user_id].active = active
         except KeyError as exc:
             raise DeploymentError(f"no service for user {user_id!r} here") from exc
+        # cached redirect decisions embed the active flag — drop them, or a
+        # deactivated service's flows would keep being redirected (and a
+        # re-activated one's would keep bypassing the device)
+        self.invalidate_flow_cache()
 
     def rule_count(self) -> int:
         """Total installed components — the Sec. 5.3 scaling quantity."""
         return sum(s.rule_count() for s in self.services.values())
+
+    # ------------------------------------------------------- crash lifecycle
+    def crash(self) -> None:
+        """Take the device down (fault injection).
+
+        While crashed the device processes nothing; what happens to owned
+        traffic is decided by ``fail_policy`` in :meth:`wants`.
+        """
+        self.crashed = True
+        self.crashes += 1
+        self.invalidate_flow_cache()
+
+    def restart(self) -> None:
+        """Bring the device back up **with empty configuration**.
+
+        Sec. 4.5: a restarting device must never resume filtering with
+        state its owners no longer control, so every installed service is
+        wiped; the NMS watchdog's anti-entropy pass re-installs what should
+        be present (:meth:`repro.core.nms.IspNms.reconcile_device`).
+        """
+        self.services.clear()
+        self.crashed = False
+        self.restarts += 1
+        self.invalidate_flow_cache()
 
     # -------------------------------------------------------- routing updates
     def on_routing_update(self) -> list[str]:
@@ -180,6 +217,8 @@ class AdaptiveDevice:
             pending = getattr(self, "pending_routing_reconfig", set())
             pending.update(affected)
             self.pending_routing_reconfig = pending
+            if affected:
+                self.invalidate_flow_cache()
         return affected
 
     def reconfirm_topology(self, user_id: Optional[str] = None) -> int:
@@ -192,6 +231,8 @@ class AdaptiveDevice:
                 self.services[uid].active = True
                 pending.discard(uid)
                 revived += 1
+        if revived:
+            self.invalidate_flow_cache()
         return revived
 
     # -------------------------------------------------------------- fast path
@@ -230,8 +271,12 @@ class AdaptiveDevice:
         self.flow_cache_misses += 1
         src_owner, dst_owner = self.registry.owners_of_packet(packet)
         services = self.services
-        wants = ((src_owner is not None and src_owner.user_id in services)
-                 or (dst_owner is not None and dst_owner.user_id in services))
+        src_inst = None if src_owner is None else services.get(src_owner.user_id)
+        dst_inst = None if dst_owner is None else services.get(dst_owner.user_id)
+        # only *active* services claim the packet; set_active/install/
+        # uninstall invalidate the cache so entries never go stale
+        wants = ((src_inst is not None and src_inst.active)
+                 or (dst_inst is not None and dst_inst.active))
         entry = (src_owner, dst_owner, wants)
         cache = self._flow_cache
         cache[key] = entry
@@ -245,7 +290,16 @@ class AdaptiveDevice:
 
         Mirrors :meth:`_flow_lookup` inline — this is the single hottest
         call in the simulator, so it spends no extra stack frame on a hit.
+
+        A crashed device claims nothing under "fail-open" (owned traffic
+        takes the router's direct path, unfiltered) and claims every owned
+        packet under "fail-closed" (:meth:`process` then drops it).
         """
+        if self.crashed:
+            if self.fail_policy == "fail-open":
+                return False
+            src_owner, dst_owner = self.registry.owners_of_packet(packet)
+            return src_owner is not None or dst_owner is not None
         if self._flow_cache_version != self.registry.version:
             self._flow_cache.clear()
             self._flow_cache_version = self.registry.version
@@ -260,6 +314,11 @@ class AdaptiveDevice:
     def process(self, packet: Packet, now: float,
                 ingress_asn: Optional[int]) -> Optional[Packet]:
         """Run the two processing stages; None means the packet was dropped."""
+        if self.crashed:
+            # only reachable under "fail-closed": owned traffic is blocked
+            # until the NMS reconciles the restarted device
+            self.dropped += 1
+            return None
         self.redirected += 1
         src_owner, dst_owner, _ = self._flow_lookup(packet)
         local_origin = ingress_asn is None

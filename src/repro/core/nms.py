@@ -7,25 +7,55 @@ from certificate-bearing network users, so the service stays controllable
 "if the network conditions are such that the TCSP can no longer be
 reached, e.g. because of an ongoing DDoS attack on the TCSP".  An NMS can
 also forward configurations to peer NMSes on the user's behalf.
+
+Resilience layer (DESIGN.md: failure model & recovery):
+
+* every control-plane hop into this NMS goes through a retry-aware
+  :class:`~repro.core.rpc.ControlChannel` (``self.channel``) which loses
+  messages while the NMS is ``partitioned`` or a fault injector says so;
+* the NMS remembers the *desired* configuration of every device
+  (:class:`DesiredService`), so a watchdog heartbeat
+  (:meth:`start_watchdog`) can detect crashed devices and — once they
+  restart wiped, per Sec. 4.5 — re-install what should be present
+  (:meth:`reconcile_device`, anti-entropy).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
-from repro.errors import CertificateError, DeploymentError, ScopeViolation
+from repro.errors import CertificateError, ControlPlaneUnavailable, \
+    DeploymentError, ScopeViolation
 from repro.core.certificates import CertificateAuthority, OwnershipCertificate
 from repro.core.device import AdaptiveDevice, DeviceContext, attach_device
 from repro.core.graph import ComponentGraph
 from repro.core.ownership import NetworkUser, OwnershipRegistry
+from repro.core.rpc import ControlChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
 
-__all__ = ["IspNms", "GraphFactory"]
+__all__ = ["IspNms", "GraphFactory", "DesiredService"]
 
 #: builds a stage graph specialised to one device's context
 GraphFactory = Callable[[DeviceContext], ComponentGraph]
+
+#: default watchdog heartbeat period (seconds, simulated)
+WATCHDOG_INTERVAL = 0.25
+
+
+@dataclass
+class DesiredService:
+    """What this NMS believes one user's deployment should look like —
+    the source of truth for anti-entropy reconciliation."""
+
+    cert: OwnershipCertificate
+    user: NetworkUser
+    target_asns: set[int] = field(default_factory=set)
+    src_graph_factory: Optional[GraphFactory] = None
+    dst_graph_factory: Optional[GraphFactory] = None
+    active: bool = True
 
 
 class IspNms:
@@ -42,6 +72,23 @@ class IspNms:
         self.peers: list["IspNms"] = []
         self.deployments = 0
         self.direct_requests = 0
+        #: True while this NMS is cut off from the control plane
+        self.partitioned = False
+        #: retry-aware channel every inbound control call goes through
+        self.channel = ControlChannel(
+            f"nms:{isp_id}", clock=lambda: network.sim.now,
+            down_fn=lambda: self.partitioned,
+        )
+        #: desired per-user deployment state (anti-entropy source of truth)
+        self.desired: dict[str, DesiredService] = {}
+        # watchdog / reconciliation state
+        self._watchdog_event = None
+        self._seen_restarts: dict[int, int] = {}
+        self.watchdog_ticks = 0
+        self.devices_seen_down = 0
+        self.reconciliations = 0
+        self.services_reinstalled = 0
+        self.forward_failures = 0
 
     # ----------------------------------------------------------------- devices
     def attach_devices(self, asns: Optional[Iterable[int]] = None) -> None:
@@ -86,8 +133,8 @@ class IspNms:
         configured = []
         for asn in sorted(set(target_asns) & self.asns):
             device = self.devices.get(asn)
-            if device is None:
-                continue  # ISP has no device at this router (yet)
+            if device is None or device.crashed:
+                continue  # no device here (yet), or it is down
             src_graph = src_graph_factory(device.context) if src_graph_factory else None
             dst_graph = dst_graph_factory(device.context) if dst_graph_factory else None
             if src_graph is None and dst_graph is None:
@@ -95,7 +142,26 @@ class IspNms:
             device.install(user, src_graph=src_graph, dst_graph=dst_graph)
             configured.append(asn)
         self.deployments += 1
+        if configured:
+            self._remember(cert, user, configured,
+                           src_graph_factory, dst_graph_factory)
         return configured
+
+    def _remember(self, cert: OwnershipCertificate, user: NetworkUser,
+                  configured: Iterable[int],
+                  src_graph_factory: Optional[GraphFactory],
+                  dst_graph_factory: Optional[GraphFactory]) -> None:
+        """Record/extend the desired state a deployment establishes."""
+        want = self.desired.get(user.user_id)
+        if want is None:
+            want = DesiredService(cert=cert, user=user)
+            self.desired[user.user_id] = want
+        want.cert = cert
+        want.target_asns |= set(configured)
+        if src_graph_factory is not None:
+            want.src_graph_factory = src_graph_factory
+        if dst_graph_factory is not None:
+            want.dst_graph_factory = dst_graph_factory
 
     def deploy_direct(self, cert: OwnershipCertificate, user: NetworkUser,
                       target_asns: Iterable[int],
@@ -105,15 +171,23 @@ class IspNms:
         """Direct user -> NMS path (TCSP unreachable, Sec. 5.1).
 
         With ``forward_to_peers`` the NMS relays the configuration to its
-        peer NMSes "upon request of the network user".
+        peer NMSes "upon request of the network user" — through each
+        peer's retry-aware channel, so a partitioned or lossy peer link is
+        retried and, if exhausted, skipped (counted in
+        ``forward_failures``) instead of aborting the whole request.
         """
         self.direct_requests += 1
         configured = self.deploy(cert, user, target_asns,
                                  src_graph_factory, dst_graph_factory)
         if forward_to_peers:
             for peer in self.peers:
-                configured += peer.deploy(cert, user, target_asns,
-                                          src_graph_factory, dst_graph_factory)
+                try:
+                    configured += peer.channel.call(
+                        "deploy", peer.deploy, cert, user, target_asns,
+                        src_graph_factory, dst_graph_factory,
+                    )
+                except ControlPlaneUnavailable:
+                    self.forward_failures += 1
         return configured
 
     # ------------------------------------------------------------- management
@@ -128,6 +202,9 @@ class IspNms:
             if user_id in device.services:
                 device.set_active(user_id, active)
                 touched += 1
+        want = self.desired.get(user_id)
+        if want is not None:
+            want.active = active
         return touched
 
     def read_logs(self, cert: OwnershipCertificate, user_id: str) -> list[tuple]:
@@ -152,3 +229,64 @@ class IspNms:
 
     def rule_count(self) -> int:
         return sum(d.rule_count() for d in self.devices.values())
+
+    # --------------------------------------------------- watchdog / recovery
+    def start_watchdog(self, interval: float = WATCHDOG_INTERVAL) -> None:
+        """Begin the heartbeat that detects dead/restarted devices.
+
+        Each tick polls every device: a crashed device is noted; a device
+        whose restart counter advanced since the last tick restarted wiped
+        (Sec. 4.5) and is reconciled against the desired state.  The timer
+        handle is cleared by a simulator reset hook, so back-to-back
+        trials on one simulator stay independent.
+        """
+        if self._watchdog_event is not None:
+            return
+        sim = self.network.sim
+        self._seen_restarts = {asn: dev.restarts
+                               for asn, dev in self.devices.items()}
+        self._watchdog_event = sim.schedule_every(interval, self._heartbeat)
+        sim.add_reset_hook(self.stop_watchdog)
+
+    def stop_watchdog(self) -> None:
+        """Cancel the heartbeat and forget liveness state."""
+        if self._watchdog_event is not None:
+            self._watchdog_event.cancel()
+            self._watchdog_event = None
+        self._seen_restarts = {}
+
+    def _heartbeat(self) -> None:
+        self.watchdog_ticks += 1
+        for asn, device in self.devices.items():
+            if device.crashed:
+                self.devices_seen_down += 1
+                continue
+            if device.restarts != self._seen_restarts.get(asn, device.restarts):
+                self.reconcile_device(asn)
+            self._seen_restarts[asn] = device.restarts
+
+    def reconcile_device(self, asn: int) -> int:
+        """Anti-entropy: re-install every desired service missing from the
+        device at ``asn``; returns how many services were re-installed."""
+        device = self.device_at(asn)
+        if device.crashed:
+            return 0
+        reinstalled = 0
+        for user_id in sorted(self.desired):
+            want = self.desired[user_id]
+            if asn not in want.target_asns or user_id in device.services:
+                continue
+            src_graph = (want.src_graph_factory(device.context)
+                         if want.src_graph_factory else None)
+            dst_graph = (want.dst_graph_factory(device.context)
+                         if want.dst_graph_factory else None)
+            if src_graph is None and dst_graph is None:
+                continue
+            instance = device.install(want.user, src_graph=src_graph,
+                                      dst_graph=dst_graph)
+            instance.active = want.active
+            reinstalled += 1
+        if reinstalled:
+            self.reconciliations += 1
+            self.services_reinstalled += reinstalled
+        return reinstalled

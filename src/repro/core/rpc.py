@@ -1,0 +1,208 @@
+"""Control-plane messaging with retries, backoff and circuit breaking.
+
+The paper's control plane (user -> TCSP -> ISP NMS, Figs. 3-5) was modelled
+as plain method calls guarded by a single ``reachable`` boolean.  Real
+control channels lose messages, time out and must be retried; Sec. 5.1's
+availability claim ("users fall back to the direct NMS path") only holds if
+unreachability is *detected* rather than assumed.  This module provides the
+small messaging layer every control-plane hop now goes through:
+
+* :class:`RetryPolicy` — per-call attempt budget with bounded exponential
+  backoff and deterministic jitter (derived from the seeded RNG, so runs
+  are bit-for-bit reproducible);
+* :class:`CircuitBreaker` — after ``threshold`` consecutive transport
+  failures the channel *opens* and rejects calls instantly until
+  ``reset_after`` simulated seconds pass, then *half-opens* to probe;
+* :class:`ControlChannel` — one logical channel to one endpoint.  A call
+  attempt is delivered unless (a) the endpoint reports itself down
+  (``down_fn``) or (b) the attached :class:`~repro.net.faults.FaultInjector`
+  drops the message.  Undelivered attempts are retried under the policy;
+  exhaustion raises :class:`~repro.errors.RetryExhausted`, which subclasses
+  :class:`~repro.errors.ControlPlaneUnavailable` so the existing direct
+  peer-NMS failover engages automatically.
+
+Application-level errors raised by the endpoint itself (certificate
+mismatch, scope violation, ...) are **not** retried: the message was
+delivered, the refusal is authoritative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import ControlPlaneUnavailable, RetryExhausted
+from repro.util.rng import derive_rng
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "ControlChannel", "RpcStats"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget and backoff shape for one call.
+
+    ``backoff(attempt)`` for attempt 0,1,2,... is
+    ``min(max_delay, base_delay * multiplier**attempt)`` plus a jitter drawn
+    uniformly from ``[0, jitter * that_delay)`` — the standard bounded
+    exponential backoff, fully deterministic given the channel's RNG stream.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    timeout: float = 0.25  #: per-attempt timeout (accounted, not slept)
+
+    def backoff(self, attempt: int, rng) -> float:
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if self.jitter > 0.0:
+            delay += float(rng.random()) * self.jitter * delay
+        return delay
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker over a monotonic clock.
+
+    States: ``closed`` (calls flow), ``open`` (calls rejected instantly),
+    ``half-open`` (one probe call allowed after ``reset_after`` elapsed).
+    """
+
+    def __init__(self, threshold: int = 5, reset_after: float = 2.0,
+                 clock: Callable[[], float] = lambda: 0.0) -> None:
+        self.threshold = threshold
+        self.reset_after = reset_after
+        self.clock = clock
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.times_opened = 0
+
+    @property
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        if self.clock() - self.opened_at >= self.reset_after:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> bool:
+        """May a call proceed right now?"""
+        return self.state != "open"
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.threshold and self.opened_at is None:
+            self.opened_at = self.clock()
+            self.times_opened += 1
+        elif self.opened_at is not None and self.state == "half-open":
+            # failed probe: re-open for another full reset window
+            self.opened_at = self.clock()
+            self.times_opened += 1
+
+    def reset(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+
+@dataclass
+class RpcStats:
+    """Per-channel counters (reported by E16)."""
+
+    calls: int = 0
+    delivered: int = 0
+    retries: int = 0
+    drops: int = 0          #: attempts lost in transport (down or injected)
+    exhausted: int = 0      #: calls that ran out of attempts
+    rejected: int = 0       #: calls rejected by an open circuit breaker
+    backoff_time: float = 0.0  #: cumulative backoff delay accounted
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class ControlChannel:
+    """One retry-aware control channel to one endpoint.
+
+    ``down_fn`` reports endpoint-side unreachability (TCSP under DDoS, NMS
+    partitioned); ``injector`` may additionally drop individual messages.
+    The channel never sleeps: backoff delays are *accounted* in
+    ``stats.backoff_time`` (and reproduced in E16's recovery accounting)
+    rather than advancing the simulator, so routing a call through a
+    channel is behaviour-preserving whenever nothing is failing.
+    """
+
+    def __init__(self, name: str, *,
+                 clock: Callable[[], float] = lambda: 0.0,
+                 policy: Optional[RetryPolicy] = None,
+                 down_fn: Optional[Callable[[], bool]] = None,
+                 injector: Optional[Any] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 seed: int = 0) -> None:
+        self.name = name
+        self.clock = clock
+        self.policy = policy or RetryPolicy()
+        self.down_fn = down_fn or (lambda: False)
+        self.injector = injector
+        self.breaker = breaker or CircuitBreaker(clock=clock)
+        self.breaker.clock = clock
+        self.stats = RpcStats()
+        self._rng = derive_rng(seed, "rpc", name)
+        self._seed = seed
+
+    # ------------------------------------------------------------------ calls
+    def call(self, op: str, fn: Callable[..., Any], *args: Any,
+             **kwargs: Any) -> Any:
+        """Invoke ``fn(*args, **kwargs)`` as one control-plane message.
+
+        Each attempt is delivered iff the endpoint is up and the fault
+        injector does not drop the message; delivered attempts execute
+        exactly once.  Raises :class:`RetryExhausted` after the policy's
+        attempt budget, or :class:`ControlPlaneUnavailable` instantly while
+        the circuit breaker is open.
+        """
+        self.stats.calls += 1
+        if not self.breaker.allow():
+            self.stats.rejected += 1
+            raise ControlPlaneUnavailable(
+                f"channel {self.name!r}: circuit open after "
+                f"{self.breaker.failures} consecutive failures"
+            )
+        policy = self.policy
+        for attempt in range(policy.attempts):
+            if attempt > 0:
+                self.stats.retries += 1
+                self.stats.backoff_time += policy.backoff(attempt - 1, self._rng)
+            if self._delivered(op):
+                result = fn(*args, **kwargs)
+                self.breaker.record_success()
+                self.stats.delivered += 1
+                return result
+            self.stats.drops += 1
+        self.stats.exhausted += 1
+        self.breaker.record_failure()
+        raise RetryExhausted(
+            f"channel {self.name!r}: {op!r} undelivered after "
+            f"{policy.attempts} attempts"
+        )
+
+    def _delivered(self, op: str) -> bool:
+        if self.down_fn():
+            return False
+        if self.injector is not None:
+            return not self.injector.drop_message(self.name, op, self.clock())
+        return True
+
+    # -------------------------------------------------------------- lifecycle
+    def reset(self) -> None:
+        """Forget transient state (breaker, counters, RNG stream position)."""
+        self.breaker.reset()
+        self.stats = RpcStats()
+        self._rng = derive_rng(self._seed, "rpc", self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ControlChannel({self.name!r}, breaker={self.breaker.state}, "
+                f"calls={self.stats.calls})")

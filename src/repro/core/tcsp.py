@@ -13,22 +13,29 @@ The TCSP is the single point of registration and orchestration:
 
 "The introduction of a TCSP helps to scale the management of our service.
 Only a single service registration is needed instead of a separate one
-with each ISP."  Availability is modelled explicitly (``reachable``): when
-the TCSP itself is under DDoS, all calls raise
-:class:`ControlPlaneUnavailable` and users fall back to the direct NMS
-path — experiment E7.
+with each ISP."  Availability is modelled explicitly: every call into the
+TCSP goes through a retry-aware :class:`~repro.core.rpc.ControlChannel`
+whose endpoint is down while ``reachable`` is False (the TCSP under DDoS)
+— after bounded retries the channel raises
+:class:`~repro.errors.RetryExhausted` (a
+:class:`ControlPlaneUnavailable`), and users fall over to the direct NMS
+path automatically — experiment E7.  TCSP -> NMS relays likewise go
+through each NMS's own channel: a partitioned NMS is retried, then
+skipped and recorded in ``undelivered`` for later resync
+(:meth:`Tcsp.resync`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, TYPE_CHECKING
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import (
     ControlPlaneUnavailable,
     DeploymentError,
     RegistrationError,
 )
+from repro.core.rpc import ControlChannel
 from repro.core.certificates import CertificateAuthority, OwnershipCertificate
 from repro.core.deployment import DeploymentScope
 from repro.core.nms import GraphFactory, IspNms
@@ -64,19 +71,42 @@ class Tcsp:
         #: False while the TCSP itself is being DDoSed (Sec. 5.1)
         self.reachable = True
         self.registrations_refused = 0
+        #: retry-aware channel all user -> TCSP calls go through; replaces
+        #: the old hard `if not reachable: raise` check
+        self.channel = ControlChannel(
+            f"tcsp:{name}", clock=lambda: network.sim.now,
+            down_fn=lambda: not self.reachable,
+        )
+        #: (isp_id, op) relays that exhausted their retries (NMS partition)
+        self.undelivered: list[tuple[str, str]] = []
+        self.nms_relay_failures = 0
+        self._pending_relays: list[tuple] = []
 
-    def _require_reachable(self) -> None:
-        if not self.reachable:
-            raise ControlPlaneUnavailable(
-                f"TCSP {self.name!r} unreachable (e.g. under DDoS); use the "
-                f"direct ISP NMS path"
-            )
+    def _call(self, op: str, fn: Callable[..., Any], *args: Any) -> Any:
+        """Route one inbound control call through the TCSP's channel."""
+        return self.channel.call(op, fn, *args)
+
+    def _relay(self, contract: IspContract, op: str, fn: Callable[..., Any],
+               *args: Any) -> Any:
+        """Relay one call to an ISP NMS through *its* channel; a partition
+        exhausts the retries, is recorded, and returns None."""
+        try:
+            return contract.nms.channel.call(op, fn, *args)
+        except ControlPlaneUnavailable:
+            self.nms_relay_failures += 1
+            self.undelivered.append((contract.isp_id, op))
+            self._pending_relays.append((contract.isp_id, op, fn, args))
+            return None
 
     # ---------------------------------------------------------------- contracts
     def contract_isp(self, isp_id: str, asns: Iterable[int],
                      attach_all: bool = True) -> IspNms:
         """Sign up an ISP: create its NMS and attach adaptive devices."""
-        self._require_reachable()
+        return self._call("contract_isp", self._contract_isp, isp_id,
+                          asns, attach_all)
+
+    def _contract_isp(self, isp_id: str, asns: Iterable[int],
+                      attach_all: bool) -> IspNms:
         if isp_id in self.contracts:
             raise DeploymentError(f"ISP {isp_id!r} already contracted")
         nms = IspNms(isp_id, self.network, asns, ca=self.ca)
@@ -107,7 +137,12 @@ class Tcsp:
                       validity: float = 365.0 * 86400.0
                       ) -> tuple[NetworkUser, OwnershipCertificate]:
         """The Fig. 4 workflow: verify identity, verify ownership, certify."""
-        self._require_reachable()
+        return self._call("register_user", self._register_user, user_id,
+                          prefixes, identity_verified, validity)
+
+    def _register_user(self, user_id: str, prefixes: Iterable[Prefix],
+                       identity_verified: bool, validity: float
+                       ) -> tuple[NetworkUser, OwnershipCertificate]:
         prefixes = list(prefixes)
         if not prefixes:
             raise RegistrationError("registration needs at least one prefix")
@@ -142,9 +177,18 @@ class Tcsp:
                        ) -> dict[str, list[int]]:
         """Fig. 5: map the request to components and instruct the ISP NMSes.
 
-        Returns {isp_id: [configured ASes]}.
+        Returns {isp_id: [configured ASes]}.  A partitioned NMS is retried,
+        then skipped (recorded in ``undelivered``; :meth:`resync` replays
+        once the partition heals).
         """
-        self._require_reachable()
+        return self._call("deploy_service", self._deploy_service, cert,
+                          scope, src_graph_factory, dst_graph_factory)
+
+    def _deploy_service(self, cert: OwnershipCertificate,
+                        scope: DeploymentScope,
+                        src_graph_factory: Optional[GraphFactory],
+                        dst_graph_factory: Optional[GraphFactory]
+                        ) -> dict[str, list[int]]:
         self.ca.verify(cert, self.network.sim.now)
         if cert.user_id not in self.registered:
             raise RegistrationError(f"user {cert.user_id!r} not registered")
@@ -152,28 +196,59 @@ class Tcsp:
         target = scope.resolve(self.network.topology)
         results: dict[str, list[int]] = {}
         for isp_id, contract in sorted(self.contracts.items()):
-            configured = contract.nms.deploy(
+            configured = self._relay(
+                contract, "deploy", contract.nms.deploy,
                 cert, user, target, src_graph_factory, dst_graph_factory,
             )
             if configured:
                 results[isp_id] = configured
         return results
 
+    def resync(self, isp_id: Optional[str] = None) -> int:
+        """Replay relays that were undelivered (e.g. during an NMS
+        partition); returns how many were delivered this time."""
+        delivered = 0
+        remaining: list[tuple] = []
+        for entry in self._pending_relays:
+            target_id, op, fn, args = entry
+            if isp_id is not None and target_id != isp_id:
+                remaining.append(entry)
+                continue
+            contract = self.contracts.get(target_id)
+            if contract is None:
+                continue
+            try:
+                contract.nms.channel.call(op, fn, *args)
+                delivered += 1
+            except ControlPlaneUnavailable:
+                remaining.append(entry)
+        self._pending_relays = remaining
+        return delivered
+
     # --------------------------------------------------------------- management
     def set_active(self, cert: OwnershipCertificate, active: bool) -> int:
         """Relay an activate/deactivate request to all contracted NMSes."""
-        self._require_reachable()
-        return sum(
-            contract.nms.set_active(cert, cert.user_id, active)
-            for contract in self.contracts.values()
-        )
+        return self._call("set_active", self._set_active, cert, active)
+
+    def _set_active(self, cert: OwnershipCertificate, active: bool) -> int:
+        touched = 0
+        for contract in self.contracts.values():
+            result = self._relay(contract, "set_active",
+                                 contract.nms.set_active,
+                                 cert, cert.user_id, active)
+            touched += result or 0
+        return touched
 
     def read_logs(self, cert: OwnershipCertificate) -> list[tuple]:
         """Relay a log-read request to all contracted NMSes."""
-        self._require_reachable()
+        return self._call("read_logs", self._read_logs, cert)
+
+    def _read_logs(self, cert: OwnershipCertificate) -> list[tuple]:
         entries: list[tuple] = []
         for contract in self.contracts.values():
-            entries.extend(contract.nms.read_logs(cert, cert.user_id))
+            result = self._relay(contract, "read_logs",
+                                 contract.nms.read_logs, cert, cert.user_id)
+            entries.extend(result or [])
         return sorted(entries)
 
     def total_rule_count(self) -> int:

@@ -24,6 +24,8 @@ __all__ = [
     "DeploymentError",
     "ComponentGraphError",
     "ControlPlaneUnavailable",
+    "RetryExhausted",
+    "FaultConfigError",
 ]
 
 
@@ -93,3 +95,14 @@ class ComponentGraphError(ReproError):
 class ControlPlaneUnavailable(ReproError):
     """The contacted control-plane entity (e.g. the TCSP under DDoS,
     Sec. 5.1) is currently unreachable."""
+
+
+class RetryExhausted(ControlPlaneUnavailable):
+    """A control-plane call failed on every attempt of its retry policy
+    (:mod:`repro.core.rpc`).  Subclasses :class:`ControlPlaneUnavailable`
+    so existing fallback paths (direct NMS, Sec. 5.1) keep working."""
+
+
+class FaultConfigError(ReproError):
+    """A fault-injection plan was configured inconsistently
+    (:mod:`repro.net.faults`)."""

@@ -89,6 +89,7 @@ def registry() -> dict[str, Callable[[ExperimentConfig], list[Table]]]:
         e13_ablations,
         e14_server_farm,
         e15_arms_race,
+        e16_resilience,
     )
 
     return dict(_REGISTRY)

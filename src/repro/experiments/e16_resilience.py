@@ -1,0 +1,369 @@
+"""E16 — mitigation resilience under injected control-plane and device
+faults (paper Secs. 4.5 and 5.1; DESIGN.md failure model).
+
+The paper's availability story is qualitative: the service keeps working
+while the TCSP is attacked (Sec. 5.1) and a failing device stays inside
+its owner's mandate (Sec. 4.5).  E16 makes it quantitative by injecting
+*scheduled, seeded* faults — adaptive-device crashes, control-message-loss
+windows, NMS partitions, a TCSP outage — into a running TCS deployment
+that is filtering a live UDP flood, and measuring
+
+* mitigation effectiveness per sampling window (1 - attack leak / attack
+  sent),
+* recovery: the time after the last fault clears until effectiveness is
+  back within 5% of the fault-free run (the self-healing loop: crashed
+  devices restart *wiped*, the NMS watchdog detects the restart and
+  anti-entropy re-installs the services),
+* control-plane work: retries, message drops, direct-NMS failovers,
+  reconciliations.
+
+All randomness derives from ``(cfg.seed, level)``, so the sweep is
+byte-identical between :func:`run_all` and :func:`run_parallel`, and two
+runs at the same seed produce identical tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.attack.flood import DirectFlood, TrafficGenerator
+from repro.core import (
+    ComponentGraph,
+    DeploymentScope,
+    NumberAuthority,
+    Tcsp,
+    TrafficControlService,
+)
+from repro.core.components import HeaderFilter, HeaderMatch
+from repro.errors import ControlPlaneUnavailable
+from repro.experiments.common import ExperimentConfig, parallel_map, register
+from repro.net import ASRole, Network, Packet, Protocol, TopologyBuilder
+from repro.net.faults import FaultInjector, FaultPlan
+from repro.util.rng import derive_rng
+from repro.util.tables import Table
+
+__all__ = ["run", "sweep_table", "timeline_table", "control_path_table",
+           "fail_policy_table"]
+
+HORIZON = 4.0          #: simulated seconds per trial
+WINDOW = 0.25          #: effectiveness sampling window
+FLOOD_START = 0.2
+FLOOD_DURATION = 3.4   #: flood outlives every fault (plan clears by ~3.2 s)
+ATTACK_RATE_PPS = 300.0
+LEGIT_RATE_PPS = 50.0
+CONTROL_PERIOD = 0.4   #: period of the user's background control calls
+
+#: fault intensity sweep: level name -> FaultPlan.random knobs
+LEVELS: tuple[tuple[str, dict], ...] = (
+    ("none", {}),
+    ("light", {"n_crashes": 2}),
+    ("moderate", {"n_crashes": 4, "n_loss_windows": 1, "loss_rate": 0.5,
+                  "n_partitions": 1}),
+    ("heavy", {"n_crashes": 8, "n_loss_windows": 2, "loss_rate": 0.8,
+               "n_partitions": 1, "tcsp_outages": 1}),
+)
+
+
+def _drop_attack_factory(device_ctx):
+    """dst-owner stage: drop off-service UDP toward the subscriber."""
+    graph = ComponentGraph("drop-attack-udp")
+    graph.add(HeaderFilter("f", HeaderMatch(proto=Protocol.UDP)))
+    return graph
+
+
+def _world(seed: int, n_agents: int, n_legit: int, fail_policy: str):
+    """A contracted, deployed, watched TCS world with a flood scheduled."""
+    net = Network(TopologyBuilder.hierarchical(2, 2, 6, seed=seed))
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    ases = net.topology.as_numbers
+    n_isps = 3
+    chunk = max(1, len(ases) // n_isps)
+    nmses = []
+    for i in range(n_isps):
+        part = ases[i * chunk:] if i == n_isps - 1 else ases[i * chunk:(i + 1) * chunk]
+        nmses.append(tcsp.contract_isp(f"isp-{i}", part))
+    stubs = net.topology.stub_ases
+    victim_asn = stubs[0]
+    prefix = net.topology.prefix_of(victim_asn)
+    authority.record_allocation(prefix, "acme")
+    user, cert = tcsp.register_user("acme", [prefix])
+    svc = TrafficControlService(tcsp, user, cert, home_nms=nmses[0])
+    # filter close to the sources (Sec. 5.2): every stub border except the
+    # victim's own, so a crashed source-side device has measurable impact
+    scope = DeploymentScope(roles=(ASRole.STUB,),
+                            exclude=frozenset({int(victim_asn)}))
+    svc.deploy(scope, dst_graph_factory=_drop_attack_factory)
+
+    victim = net.add_host(victim_asn)
+    attacker_asns = [int(a) for a in stubs[1:1 + n_agents]]
+    attackers = [net.add_host(a) for a in attacker_asns]
+    legit_asns = [int(a) for a in stubs[1 + n_agents:1 + n_agents + n_legit]]
+    legit_hosts = [net.add_host(a) for a in legit_asns]
+
+    for nms in nmses:
+        for device in nms.devices.values():
+            device.fail_policy = fail_policy
+        nms.start_watchdog()
+
+    DirectFlood(net, attackers, victim, rate_pps=ATTACK_RATE_PPS,
+                duration=FLOOD_DURATION, start=FLOOD_START, spoof="none",
+                seed=seed).launch()
+    for i, client in enumerate(legit_hosts):
+        def factory(seq, now, client=client):
+            return Packet.tcp_syn(client.address, victim.address, dport=80,
+                                  kind="legit")
+        TrafficGenerator(client, factory, LEGIT_RATE_PPS, start=FLOOD_START,
+                         duration=FLOOD_DURATION,
+                         seed=derive_rng(seed, "e16-legit", i)).install()
+    return (net, tcsp, nmses, svc, victim, attacker_asns, legit_asns)
+
+
+def _window_effs(samples: list[tuple], n_agents: int) -> list[tuple]:
+    """Per-window (t_end, effectiveness | None, active_faults) from the
+    cumulative samples; None where no attack traffic was due."""
+    out = []
+    for (t0, a0, _f0), (t1, a1, f1) in zip(samples, samples[1:]):
+        lo = max(t0, FLOOD_START)
+        hi = min(t1, FLOOD_START + FLOOD_DURATION)
+        sent = n_agents * ATTACK_RATE_PPS * max(0.0, hi - lo)
+        eff = None if sent <= 0 else max(0.0, 1.0 - (a1 - a0) / sent)
+        out.append((t1, eff, f1))
+    return out
+
+
+def _run_level(point: tuple) -> dict:
+    """One sweep point (top-level so parallel_map can pickle it)."""
+    level, knobs, seed, n_agents, n_legit = point
+    net, tcsp, nmses, svc, victim, attacker_asns, legit_asns = _world(
+        seed, n_agents, n_legit, fail_policy="fail-open")
+    plan = FaultPlan.random(
+        seed, horizon=HORIZON, device_asns=attacker_asns,
+        nms_ids=[n.isp_id for n in nmses[1:]], **knobs)
+    injector = FaultInjector(plan, net, tcsp=tcsp, nmses=nmses, seed=seed)
+    injector.arm()
+
+    samples: list[tuple] = [(0.0, 0, 0)]
+
+    def sample() -> None:
+        samples.append((net.sim.now, victim.received_by_kind.get("attack", 0),
+                        len(injector.active)))
+
+    net.sim.schedule_every(WINDOW, sample)
+
+    def control_op() -> None:
+        try:
+            svc.read_logs()
+        except ControlPlaneUnavailable:
+            pass
+
+    net.sim.schedule_every(CONTROL_PERIOD, control_op)
+    net.run(until=HORIZON)
+
+    windows = _window_effs(samples, n_agents)
+    effs = [(t, e) for t, e, _f in windows if e is not None]
+    during = [e for t, e in effs
+              if plan.faults and plan.faults[0].start <= t <= plan.last_clear + WINDOW]
+    after = [e for t, e in effs if t > plan.last_clear + WINDOW]
+    channels = [tcsp.channel] + [n.channel for n in nmses]
+    return {
+        "level": level,
+        "n_faults": len(plan),
+        "last_clear": plan.last_clear,
+        "windows": windows,
+        "eff_during": (sum(during) / len(during)) if during else None,
+        "eff_after": (sum(after) / len(after)) if after else None,
+        "after_series": [(t, e) for t, e in effs if t > plan.last_clear],
+        "retries": sum(c.stats.retries for c in channels),
+        "msg_drops": injector.messages_dropped,
+        "fallbacks": svc.fallback_used,
+        "crashes": sum(d.crashes for n in nmses for d in n.devices.values()),
+        "reconciliations": sum(n.reconciliations for n in nmses),
+        "reinstalled": sum(n.services_reinstalled for n in nmses),
+        "relay_failures": tcsp.nms_relay_failures,
+    }
+
+
+def _recovery_time(result: dict, eff_ref: float) -> Optional[float]:
+    """Seconds from the last fault clearing until the first window whose
+    effectiveness is back within 5% of the fault-free reference."""
+    for t, e in result["after_series"]:
+        if e is not None and e >= eff_ref - 0.05:
+            return max(0.0, t - result["last_clear"])
+    return None
+
+
+def _sweep_points(cfg: ExperimentConfig) -> list[dict]:
+    n_agents = cfg.scaled(6, minimum=3)
+    n_legit = cfg.scaled(4, minimum=2)
+    points = [(level, knobs, cfg.seed, n_agents, n_legit)
+              for level, knobs in LEVELS]
+    return parallel_map(_run_level, points, workers=cfg.workers)
+
+
+def sweep_table(cfg: ExperimentConfig,
+                results: Optional[list[dict]] = None) -> Table:
+    table = Table(
+        "E16a: mitigation effectiveness vs. injected fault intensity "
+        "(Secs. 4.5/5.1)",
+        ["fault_level", "faults", "crashes", "eff_during_faults",
+         "eff_after_clear", "recovery_s", "recovered", "retries",
+         "msg_drops", "failovers", "reinstalls"],
+    )
+    results = results if results is not None else _sweep_points(cfg)
+    ref = next(r for r in results if r["level"] == "none")
+    eff_ref = ref["eff_after"] if ref["eff_after"] is not None else 1.0
+    for r in results:
+        if r["level"] == "none":
+            recovery, recovered = 0.0, True
+        else:
+            rec = _recovery_time(r, eff_ref)
+            recovery = rec if rec is not None else -1.0
+            recovered = (rec is not None
+                         and r["eff_after"] is not None
+                         and r["eff_after"] >= eff_ref - 0.05)
+        table.add_row(
+            r["level"], r["n_faults"], r["crashes"],
+            round(r["eff_during"], 3) if r["eff_during"] is not None else "-",
+            round(r["eff_after"], 3) if r["eff_after"] is not None else "-",
+            round(recovery, 2), recovered, r["retries"], r["msg_drops"],
+            r["fallbacks"], r["reinstalled"],
+        )
+    table.add_note("eff = 1 - (attack delivered / attack sent) per 0.25 s "
+                   "window; 'during' averages windows overlapping the fault "
+                   "schedule, 'after' the windows past the last clear")
+    table.add_note("recovered = effectiveness back within 5% of the "
+                   "fault-free run after the last fault clears (self-healing "
+                   "via watchdog + anti-entropy re-install)")
+    return table
+
+
+def timeline_table(cfg: ExperimentConfig,
+                   results: Optional[list[dict]] = None) -> Table:
+    table = Table(
+        "E16b: recovery timeline at the 'moderate' fault level",
+        ["t_s", "effectiveness", "active_faults"],
+    )
+    results = results if results is not None else _sweep_points(cfg)
+    moderate = next(r for r in results if r["level"] == "moderate")
+    for t, eff, active in moderate["windows"]:
+        if round(t / WINDOW) % 2 == 0:  # print every other window
+            table.add_row(round(t, 2),
+                          round(eff, 3) if eff is not None else "-", active)
+    table.add_note(f"last injected fault clears at "
+                   f"t={moderate['last_clear']:.2f}s; effectiveness dips "
+                   f"while crashed (fail-open) devices leak, then returns "
+                   f"once the watchdog re-installs wiped services")
+    return table
+
+
+def control_path_table(cfg: ExperimentConfig) -> Table:
+    """Deterministic control-plane scenarios: who carries the call, and at
+    what retry cost, as TCSP/NMS availability degrades."""
+    table = Table(
+        "E16c: control-plane path selection and retry cost (Sec. 5.1)",
+        ["scenario", "deploy_ok", "devices", "path", "retries",
+         "exhausted", "failovers", "relay_failures"],
+    )
+
+    def fresh(seed_off: int = 0):
+        return _world(cfg.seed + seed_off, n_agents=3, n_legit=2,
+                      fail_policy="fail-open")
+
+    # 1: healthy — via TCSP
+    net, tcsp, nmses, svc, victim, *_ = fresh()
+    n_devices = sum(len(n.desired["acme"].target_asns)
+                    for n in nmses if "acme" in n.desired)
+    table.add_row("healthy", True, n_devices, "via TCSP",
+                  tcsp.channel.stats.retries, tcsp.channel.stats.exhausted,
+                  svc.fallback_used, tcsp.nms_relay_failures)
+    # 2: TCSP down — retried, then automatic direct NMS + peer forwarding
+    net, tcsp, nmses, svc, victim, *_ = fresh(1)
+    tcsp.reachable = False
+    scope = DeploymentScope(roles=(ASRole.STUB,),
+                            exclude=frozenset({int(victim.asn)}))
+    result = svc.deploy(scope, dst_graph_factory=_drop_attack_factory)
+    table.add_row("TCSP under DDoS", bool(result),
+                  sum(len(v) for v in result.values()),
+                  "direct NMS + peers", tcsp.channel.stats.retries,
+                  tcsp.channel.stats.exhausted, svc.fallback_used,
+                  tcsp.nms_relay_failures)
+    # 3: one NMS partitioned during a TCSP relay — skipped, then resynced
+    net, tcsp, nmses, svc, victim, *_ = fresh(2)
+    nmses[1].partitioned = True
+    svc.set_active(False)
+    partition_failures = tcsp.nms_relay_failures
+    nmses[1].partitioned = False
+    resynced = tcsp.resync()
+    table.add_row(f"NMS partition (resynced {resynced} op)", True, n_devices,
+                  "via TCSP, partitioned NMS skipped",
+                  nmses[1].channel.stats.retries,
+                  nmses[1].channel.stats.exhausted, svc.fallback_used,
+                  partition_failures)
+    table.add_note("'failovers' counts TrafficControlService falls to the "
+                   "direct home-NMS path; 'relay_failures' counts TCSP->NMS "
+                   "relays that exhausted their retries")
+    return table
+
+
+def fail_policy_table(cfg: ExperimentConfig) -> Table:
+    """Sec. 4.5 while down: fail-open passes owned traffic unfiltered,
+    fail-closed blocks it — measured during an injected crash window."""
+    table = Table(
+        "E16d: fail-open vs. fail-closed during a device crash (Sec. 4.5)",
+        ["fail_policy", "attack_leaked_during_crash",
+         "legit_delivered_during_crash", "attack_after_recovery",
+         "legit_after_recovery"],
+    )
+    crash_at, restart_at, t_end = 1.0, 2.0, 3.0
+    for policy in ("fail-open", "fail-closed"):
+        net, tcsp, nmses, svc, victim, attacker_asns, legit_asns = _world(
+            cfg.seed, n_agents=3, n_legit=2, fail_policy=policy)
+        # crash the device at one attacker stub and one legit client stub
+        targets = [attacker_asns[0], legit_asns[0]]
+        devices = [net.routers[a].adaptive_device for a in targets]
+        marks: dict[str, tuple[int, int]] = {}
+
+        def snap(label: str) -> None:
+            marks[label] = (victim.received_by_kind.get("attack", 0),
+                            victim.received_by_kind.get("legit", 0))
+
+        for device in devices:
+            net.sim.schedule_at(crash_at, device.crash)
+            net.sim.schedule_at(restart_at, device.restart)
+        net.sim.schedule_at(crash_at, snap, "crash")
+        net.sim.schedule_at(restart_at, snap, "restart")
+        # watchdog reconciles within one heartbeat of the restart
+        net.sim.schedule_at(restart_at + 0.5, snap, "recovered")
+        net.run(until=t_end)
+        snap("end")
+        a_during = marks["restart"][0] - marks["crash"][0]
+        l_during = marks["restart"][1] - marks["crash"][1]
+        a_after = marks["end"][0] - marks["recovered"][0]
+        l_after = marks["end"][1] - marks["recovered"][1]
+        # due in each interval: the crashed stub's flood share, and ALL
+        # legit clients' traffic (only one client's stub crashed)
+        n_legit = len(legit_asns)
+        expected_attack = ATTACK_RATE_PPS * (restart_at - crash_at)
+        expected_legit = n_legit * LEGIT_RATE_PPS * (restart_at - crash_at)
+        after_span = t_end - restart_at - 0.5
+        table.add_row(
+            policy, round(a_during / expected_attack, 3),
+            round(l_during / expected_legit, 3),
+            round(a_after / (ATTACK_RATE_PPS * after_span), 3),
+            round(l_after / (n_legit * LEGIT_RATE_PPS * after_span), 3),
+        )
+    table.add_note("one attacker-stub and one client-stub device crash at "
+                   "t=1 s and restart (wiped, Sec. 4.5) at t=2 s; ratios are "
+                   "against the traffic due in each interval")
+    table.add_note("fail-open leaks the crashed stub's attack but keeps "
+                   "legit flowing; fail-closed blocks both until the "
+                   "watchdog re-installs the services")
+    return table
+
+
+@register("E16")
+def run(cfg: ExperimentConfig) -> list[Table]:
+    results = _sweep_points(cfg)
+    return [sweep_table(cfg, results), timeline_table(cfg, results),
+            control_path_table(cfg), fail_policy_table(cfg)]

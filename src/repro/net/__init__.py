@@ -25,6 +25,7 @@ from repro.net.network import LinkParams, Network
 from repro.net.node import Host, Node, Router
 from repro.net.simulator import Event, Simulator
 from repro.net.fluid import Flow, FlowSet, FluidFilter, FluidNetwork, FluidResult
+from repro.net.faults import Fault, FaultInjector, FaultKind, FaultPlan
 from repro.net.trace import PacketRecord, TraceRecorder
 from repro.net.render import tier_summary, to_dot
 
@@ -61,6 +62,10 @@ __all__ = [
     "FluidFilter",
     "FluidNetwork",
     "FluidResult",
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
     "PacketRecord",
     "TraceRecorder",
     "to_dot",

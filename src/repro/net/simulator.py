@@ -79,6 +79,7 @@ class Simulator:
         self._processed = 0
         self._cancelled_pending = 0
         self.running = False
+        self._reset_hooks: list[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -175,18 +176,33 @@ class Simulator:
             self.running = False
         return self._processed - processed_before
 
+    def add_reset_hook(self, fn: Callable[[], None]) -> None:
+        """Register a callback run (then discarded) by :meth:`reset`.
+
+        Stateful subsystems hanging off the simulator — fault injectors,
+        NMS watchdogs — register here so that back-to-back trials in one
+        process start independent: :meth:`reset` both drains the heap *and*
+        tells them to forget injected faults / timer handles.
+        """
+        self._reset_hooks.append(fn)
+
     def reset(self) -> None:
         """Discard all pending events and rewind the clock to zero.
 
         Also restarts the ``seq`` tiebreaker, so a reset simulator
         reproduces a fresh one bit for bit (same-timestamp events fire in
-        the same order and carry the same ``seq`` values).
+        the same order and carry the same ``seq`` values).  Reset hooks
+        (:meth:`add_reset_hook`) run once and are then discarded — a
+        re-armed subsystem must re-register.
         """
         self._heap.clear()
         self._now = 0.0
         self._processed = 0
         self._cancelled_pending = 0
         self._seq = itertools.count()
+        hooks, self._reset_hooks = self._reset_hooks, []
+        for fn in hooks:
+            fn()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"

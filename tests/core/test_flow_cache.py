@@ -103,6 +103,28 @@ class TestInvalidation:
         device.install(outsider, dst_graph=graph)
         assert device.wants(pkt)
 
+    def test_set_active_invalidates(self):
+        # regression: set_active used to leave stale cache entries behind,
+        # so deactivated services kept redirecting (and vice versa)
+        device, users, _ = make_device()
+        pkt = Packet.udp(A("172.16.0.1"),
+                         IPv4Address(users[0].prefixes[0].base + 3))
+        assert device.wants(pkt)
+        device.set_active(users[0].user_id, False)
+        assert not device.wants(pkt)
+        device.set_active(users[0].user_id, True)
+        assert device.wants(pkt)
+
+    def test_crash_and_restart_invalidate(self):
+        device, users, _ = make_device()
+        pkt = Packet.udp(A("172.16.0.1"),
+                         IPv4Address(users[0].prefixes[0].base + 3))
+        assert device.wants(pkt)
+        device.crash()
+        assert not device.wants(pkt)  # fail-open: no redirect while down
+        device.restart()
+        assert not device.wants(pkt)  # restart wiped the services
+
     def test_registry_unregister_invalidates(self):
         device, users, registry = make_device()
         pkt = Packet.udp(A("172.16.0.1"),

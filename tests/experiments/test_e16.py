@@ -1,0 +1,65 @@
+"""E16 resilience experiment: smoke, determinism, and the recovery
+acceptance criterion (effectiveness back within 5% of the fault-free run
+after the last fault clears).
+"""
+
+import pytest
+
+from repro.experiments import e16_resilience
+from repro.experiments.common import ExperimentConfig
+
+CFG = ExperimentConfig(seed=42, scale=0.3)
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return e16_resilience.run(CFG)
+
+
+class TestShape:
+    def test_four_tables(self, tables):
+        assert len(tables) == 4
+        assert all(t.rows for t in tables)
+
+    def test_sweep_covers_all_levels(self, tables):
+        levels = [row[0] for row in tables[0].rows]
+        assert levels == [lvl for lvl, _ in e16_resilience.LEVELS]
+
+    def test_fault_free_level_injects_nothing(self, tables):
+        none_row = tables[0].rows[0]
+        assert none_row[1] == 0 and none_row[2] == 0
+
+    def test_heavier_levels_inject_more_faults(self, tables):
+        counts = [row[1] for row in tables[0].rows]
+        assert counts == sorted(counts)
+        assert counts[-1] > 0
+
+
+class TestRecovery:
+    def test_every_level_recovers(self, tables):
+        recovered_col = tables[0].columns.index("recovered")
+        assert all(row[recovered_col] for row in tables[0].rows)
+
+    def test_faults_degrade_effectiveness_while_active(self, tables):
+        eff_col = tables[0].columns.index("eff_during_faults")
+        heavy = tables[0].rows[-1][eff_col]
+        assert heavy < 1.0  # crashes measurably leak attack traffic
+
+    def test_fail_open_leaks_fail_closed_blocks(self, tables):
+        e16d = tables[3]
+        by_policy = {row[0]: row for row in e16d.rows}
+        open_row, closed_row = by_policy["fail-open"], by_policy["fail-closed"]
+        assert open_row[1] > closed_row[1]    # attack leaked while down
+        assert open_row[2] > closed_row[2]    # legit preserved while down
+        assert open_row[3] == closed_row[3] == 0.0  # both recover filtering
+
+
+class TestDeterminism:
+    def test_two_runs_identical(self, tables):
+        again = e16_resilience.run(CFG)
+        assert repr(tables) == repr(again)
+
+    def test_parallel_sweep_identical_to_serial(self, tables):
+        fanned = e16_resilience.run(
+            ExperimentConfig(seed=42, scale=0.3, workers=4))
+        assert repr(tables) == repr(fanned)

@@ -14,7 +14,7 @@ CFG = ExperimentConfig(seed=42, scale=0.2)
 class TestRegistry:
     def test_all_experiments_registered(self):
         ids = set(registry())
-        assert ids == {f"E{i}" for i in range(1, 16)}
+        assert ids == {f"E{i}" for i in range(1, 17)}
 
     def test_run_all_subset(self):
         results = run_all(CFG, only=["E5"])

@@ -1,0 +1,199 @@
+"""Fault plans and the injector: deterministic schedules, clean round
+trips, and a simulator ``reset()`` that leaves no fault state behind.
+"""
+
+import pytest
+
+from repro.core import NumberAuthority, Tcsp
+from repro.errors import FaultConfigError
+from repro.experiments.common import parallel_map
+from repro.net import (
+    FaultInjector,
+    FaultKind,
+    Fault,
+    FaultPlan,
+    Network,
+    TopologyBuilder,
+)
+
+KNOBS = dict(horizon=4.0, device_asns=(10, 11, 12), nms_ids=("a", "b"),
+             links=((0, 1),), n_crashes=3, n_flaps=1, n_partitions=1,
+             n_loss_windows=1, loss_rate=0.4, tcsp_outages=1)
+
+
+def plan_signature(seed: int) -> str:
+    """Top-level so parallel_map can ship it to pool workers."""
+    return FaultPlan.random(seed, **KNOBS).signature()
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        assert plan_signature(3) == plan_signature(3)
+        a = FaultPlan.random(3, **KNOBS)
+        b = FaultPlan.random(3, **KNOBS)
+        assert [f.key() for f in a] == [f.key() for f in b]
+
+    def test_different_seed_different_plan(self):
+        assert plan_signature(3) != plan_signature(4)
+
+    def test_serial_vs_parallel_map_byte_identical(self):
+        seeds = list(range(8))
+        serial = [plan_signature(s) for s in seeds]
+        fanned = parallel_map(plan_signature, seeds, workers=4)
+        assert serial == fanned
+
+    def test_faults_clear_before_horizon(self):
+        plan = FaultPlan.random(1, **KNOBS)
+        assert len(plan) == 7
+        assert plan.last_clear < KNOBS["horizon"]
+
+    def test_validation(self):
+        with pytest.raises(FaultConfigError):
+            FaultPlan([Fault(FaultKind.DEVICE_CRASH, -0.1, 1.0, (1,))])
+        with pytest.raises(FaultConfigError):
+            FaultPlan([Fault(FaultKind.DEVICE_CRASH, 0.1, 0.0, (1,))])
+        with pytest.raises(FaultConfigError):
+            FaultPlan([Fault(FaultKind.MESSAGE_LOSS, 0.1, 1.0, param=1.5)])
+        with pytest.raises(FaultConfigError):
+            FaultPlan.random(1, horizon=2.0, n_crashes=1)  # no targets
+
+    def test_plan_is_sorted_by_start(self):
+        plan = FaultPlan.random(9, **KNOBS)
+        starts = [f.start for f in plan]
+        assert starts == sorted(starts)
+
+
+def build_world():
+    net = Network(TopologyBuilder.hierarchical(2, 2, 4, seed=1))
+    tcsp = Tcsp("TCSP", NumberAuthority(), net)
+    nms = tcsp.contract_isp("isp1", net.topology.as_numbers)
+    return net, tcsp, nms
+
+
+class TestFaultInjector:
+    def test_device_crash_and_wiped_restart(self):
+        net, tcsp, nms = build_world()
+        asn = net.topology.stub_ases[0]
+        plan = FaultPlan([Fault(FaultKind.DEVICE_CRASH, 0.1, 0.2, (asn,))])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms])
+        injector.arm()
+        device = nms.devices[asn]
+        net.run(until=0.2)
+        assert device.crashed
+        net.run(until=1.0)
+        assert not device.crashed
+        assert device.crashes == 1 and device.restarts == 1
+        assert device.services == {}  # Sec. 4.5: restart comes back wiped
+        assert injector.injected == injector.cleared == 1
+
+    def test_link_flap_round_trip(self):
+        net, tcsp, nms = build_world()
+        a, b = 0, 1  # the core-core adjacency is redundant in this topology
+        plan = FaultPlan([Fault(FaultKind.LINK_FLAP, 0.1, 0.2, (a, b))])
+        FaultInjector(plan, net, nmses=[nms]).arm()
+        net.run(until=0.2)
+        assert (a, b) not in net.links
+        net.run(until=1.0)
+        assert (a, b) in net.links
+
+    def test_partitioning_link_flap_skipped(self):
+        net, tcsp, nms = build_world()
+        # a stub's only uplink: removing it would partition the Internet,
+        # so the injector must skip the flap instead of corrupting routing
+        stub = net.topology.stub_ases[0]
+        peer = next(y for (x, y) in net.links if x == stub)
+        plan = FaultPlan([Fault(FaultKind.LINK_FLAP, 0.1, 0.2, (stub, peer))])
+        injector = FaultInjector(plan, net, nmses=[nms])
+        injector.arm()
+        net.run(until=1.0)
+        assert injector.skipped == 1
+        assert (stub, peer) in net.links
+
+    def test_nms_partition_round_trip(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.NMS_PARTITION, 0.1, 0.2, ("isp1",))])
+        FaultInjector(plan, net, tcsp=tcsp, nmses=[nms]).arm()
+        net.run(until=0.2)
+        assert nms.partitioned
+        net.run(until=1.0)
+        assert not nms.partitioned
+
+    def test_tcsp_outage_round_trip(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.TCSP_OUTAGE, 0.1, 0.2)])
+        FaultInjector(plan, net, tcsp=tcsp, nmses=[nms]).arm()
+        net.run(until=0.2)
+        assert not tcsp.reachable
+        net.run(until=1.0)
+        assert tcsp.reachable
+
+    def test_overlapping_tcsp_outages_clear_last(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.TCSP_OUTAGE, 0.1, 0.4),
+                          Fault(FaultKind.TCSP_OUTAGE, 0.2, 0.1)])
+        FaultInjector(plan, net, tcsp=tcsp, nmses=[nms]).arm()
+        net.run(until=0.35)  # the short outage cleared, the long one did not
+        assert not tcsp.reachable
+        net.run(until=1.0)
+        assert tcsp.reachable
+
+    def test_message_loss_window(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.MESSAGE_LOSS, 0.1, 0.3, param=1.0)])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms])
+        injector.arm()
+        assert tcsp.channel.injector is injector  # arm() attaches itself
+        assert nms.channel.injector is injector
+        net.run(until=0.2)
+        assert injector.loss_rate_at(net.sim.now) == 1.0
+        assert injector.drop_message("tcsp:TCSP", "op", net.sim.now)
+        net.run(until=1.0)
+        assert injector.loss_rate_at(net.sim.now) == 0.0
+        assert not injector.drop_message("tcsp:TCSP", "op", net.sim.now)
+
+    def test_arm_twice_rejected(self):
+        net, tcsp, nms = build_world()
+        injector = FaultInjector(FaultPlan(), net, nmses=[nms])
+        injector.arm()
+        with pytest.raises(FaultConfigError):
+            injector.arm()
+
+
+class TestSimulatorReset:
+    def test_reset_clears_fault_state(self):
+        net, tcsp, nms = build_world()
+        asn = net.topology.stub_ases[0]
+        plan = FaultPlan([Fault(FaultKind.DEVICE_CRASH, 0.1, 5.0, (asn,)),
+                          Fault(FaultKind.MESSAGE_LOSS, 0.1, 5.0, param=1.0)])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms])
+        injector.arm()
+        net.run(until=0.2)
+        assert injector.active
+        net.sim.reset()
+        assert not injector.armed
+        assert not injector.active
+        assert injector.messages_dropped == 0
+        assert tcsp.channel.injector is None  # detached again
+        assert net.sim.pending == 0
+        # a reset injector can be re-armed for the next trial
+        injector.arm()
+        assert net.sim.pending == 2 * len(plan)
+
+    def test_reset_clears_watchdog_timer(self):
+        net, tcsp, nms = build_world()
+        nms.start_watchdog(interval=0.1)
+        net.run(until=0.35)
+        assert nms.watchdog_ticks == 3
+        net.sim.reset()
+        assert nms._watchdog_event is None
+        assert net.sim.pending == 0
+        net.run(until=1.0)
+        assert nms.watchdog_ticks == 3  # no zombie heartbeat survived reset
+
+    def test_reset_hooks_run_once_then_discarded(self):
+        net, _, _ = build_world()
+        fired = []
+        net.sim.add_reset_hook(lambda: fired.append(1))
+        net.sim.reset()
+        net.sim.reset()
+        assert fired == [1]

@@ -45,6 +45,7 @@ re-runs all of these at reduced scale.
 | E13 | Secs. 4.1/4.3 | design-choice ablations (stage order, redirect policy, stateful filtering) | yes — each paper choice measurably dominates its alternative |
 | E14 | Sec. 3.1 | "an attacked server's resources are exhausted before its uplink is overloaded" defeats pushback | yes — 0 pushback activations at <1% link load while the server dies; TCS unaffected |
 | E15 | Secs. 1, 4.2 | rules "installed, configured and activated instantly" keep up with a vector-switching attacker | yes — every vector answered in 35-110 ms from packet headers alone |
+| E16 | Secs. 4.5, 5.1 | the service stays effective and controllable while its own parts fail, and heals itself | yes — recovery to within 5% of fault-free effectiveness after every injected fault schedule |
 
 ---
 """
@@ -222,6 +223,25 @@ and answers with the matching TCS deployment within 35-110 ms; per-phase
 attack delivery collapses and 8/10 long-lived connections survive the
 teardown phase versus 1/10 undefended.""",
   ["E15"]),
+ ("E16", "Secs. 4.5 / 5.1 — resilience under injected faults", """**Claims.** The control plane survives a DDoS on the TCSP (Sec. 5.1) and
+a failing device must never exceed its owner's mandate (Sec. 4.5) — here
+hardened into a measurable property: *mitigation effectiveness returns to
+within 5% of the fault-free run after the last injected fault clears*.
+
+**Measured.** A seeded fault schedule (device crashes, control-message
+loss windows, NMS partitions, a TCSP outage) is injected into a live
+deployment filtering a UDP flood.  Effectiveness dips while source-side
+devices are down (fail-open) and recovers every time: crashed devices
+restart *wiped* (Sec. 4.5) and the NMS watchdog's anti-entropy pass
+re-installs the desired services within one heartbeat.  E16c shows the
+control-plane paths: a TCSP outage is detected by retry exhaustion and
+fails over to the direct peer-NMS path; a partitioned NMS is skipped and
+resynced afterwards.  E16d quantifies the fail-open/fail-closed policy
+choice: fail-open leaks the crashed stub's attack share but preserves
+legitimate traffic; fail-closed inverts the trade.  The whole experiment
+is deterministic for a seed (two runs are byte-identical, serial or
+parallel).""",
+  ["E16a", "E16b", "E16c", "E16d"]),
 ]
 
 
@@ -229,7 +249,7 @@ def parse_blocks(text: str) -> dict[str, str]:
     blocks: dict[str, str] = {}
     current_key, buf = None, []
     for line in io.StringIO(text):
-        m = re.match(r"\*\*(E\d+[a-c]?):", line)
+        m = re.match(r"\*\*(E\d+[a-d]?):", line)
         if m:
             if current_key:
                 blocks[current_key] = "".join(buf).strip()
