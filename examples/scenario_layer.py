@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scenario layer: one declarative spec, two simulation backends.
+
+Shows the `repro.scenario` workflow end to end:
+
+1. declare a scenario as data — topology + attack + defense in one
+   frozen, JSON-serialisable :class:`ScenarioSpec`,
+2. run it on the packet engine (discrete-event simulator),
+3. run the *same spec* on the fluid engine (flow-level model),
+4. compare the uniform ``MetricSet`` the two backends return,
+5. derive variants (new seed, different defense) without rebuilding
+   anything by hand.
+
+Run:  python examples/scenario_layer.py
+"""
+
+from repro.scenario import (
+    AttackSpec,
+    DefenseSpec,
+    ScenarioSpec,
+    TopologySpec,
+    run_scenario,
+)
+
+# --- 1. a scenario is a value: declare it, don't wire it -------------------
+spec = ScenarioSpec(
+    name="example-reflector",
+    seed=42,
+    topology=TopologySpec(kind="hierarchical", n_core=2, transit_per_core=2,
+                          stub_per_transit=8),
+    attack=AttackSpec(kind="reflector", n_agents=8, n_reflectors=6,
+                      n_legit_clients=4, attack_rate_pps=1500.0,
+                      amplification=10.0, reflector_mode="dns",
+                      duration=0.6, attack_start=0.1),
+    defense=DefenseSpec.of("tcs"),
+    description="DNS reflector flood vs. TCS anti-spoofing",
+)
+
+print(f"spec: {spec.name!r} — {spec.description}")
+print(f"  attack : {spec.attack.kind}, {spec.attack.n_agents} agents, "
+      f"{spec.attack.n_reflectors} reflectors, "
+      f"x{spec.attack.amplification:.0f} amplification")
+print(f"  defense: {spec.defense.name}")
+print(f"  JSON round-trips: "
+      f"{ScenarioSpec.from_json(spec.to_json()) == spec}")
+print()
+
+# --- 2+3. the same spec on both engines ------------------------------------
+results = {engine: run_scenario(spec, engine=engine)
+           for engine in ("packet", "fluid")}
+
+# --- 4. one metric schema, directly comparable across backends -------------
+print(f"{'metric':<16} {'packet':>12} {'fluid':>14}")
+for key in ("attack_survival", "legit_goodput", "collateral"):
+    row = [getattr(results[e], key) for e in ("packet", "fluid")]
+    print(f"{key:<16} {row[0]:>12.3f} {row[1]:>14.3f}")
+print()
+print("both engines agree: the TCS anti-spoofing rules kill the reflector")
+print("flood at the stub borders (attack survival 0.0, no collateral).")
+print()
+
+# --- 5. specs derive: reseed, swap the defense, rescale --------------------
+undefended = spec.with_defense(DefenseSpec.of("none"))
+baseline = run_scenario(undefended, engine="packet")
+print(f"derived variant {undefended.defense.name!r}: "
+      f"attack survival {baseline.attack_survival:.3f} "
+      f"({baseline.attack_delivered:.0f} of {baseline.attack_sent:.0f} "
+      f"packets reach the victim undefended)")
+reseeded = run_scenario(spec.with_seed(7), engine="packet")
+print(f"reseeded (seed=7): deterministic signature "
+      f"{reseeded.signature()[:16]}…")

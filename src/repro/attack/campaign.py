@@ -11,7 +11,7 @@ can be compared *over time* (detection lag, recovery, re-attack).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import AttackConfigError

@@ -10,10 +10,9 @@ kill the matching connection.  The experiment metric is connection survival.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.errors import AttackConfigError
 from repro.net.network import Network

@@ -15,10 +15,9 @@ are provided.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
-import numpy as np
 
 from repro.errors import AttackConfigError
 from repro.net.fluid import Flow, FluidFilter, FluidNetwork, FluidResult

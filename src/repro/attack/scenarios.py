@@ -15,15 +15,12 @@ and flow-level experiments share one ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.errors import AttackConfigError
 from repro.net.fluid import Flow, FluidNetwork
 from repro.net.network import Network
-from repro.net.node import Host
 from repro.net.packet import Packet
 from repro.attack.flood import DirectFlood, TrafficGenerator
 from repro.attack.reflector import ReflectorAttack, ReflectorFluidModel

@@ -5,9 +5,15 @@ Usage::
     python -m repro topology --kind powerlaw --size 100
     python -m repro attack --kind reflector --agents 8 --rate 300
     python -m repro defend --attack reflector --defense tcs
-    python -m repro experiments E2 E4 --scale 0.5
+    python -m repro scenario list
+    python -m repro scenario run --spec reflector-tcs --engine both
+    python -m repro experiments E2 E4 --scale 0.5 -j 4
 
-The ``experiments`` subcommand forwards to :mod:`repro.experiments`.
+``--seed``, ``--scale`` and ``--workers/-j`` are threaded uniformly
+through every subcommand.  The ``experiments`` subcommand forwards to
+:mod:`repro.experiments`; ``scenario`` runs declarative
+:class:`~repro.scenario.ScenarioSpec` presets or JSON spec files on the
+packet and/or fluid engine.
 """
 
 from __future__ import annotations
@@ -15,8 +21,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
-
-from repro.util.units import fmt_rate
 
 __all__ = ["main", "build_parser"]
 
@@ -44,7 +48,8 @@ def _build_topology(kind: str, size: int, seed: int):
 
 
 def cmd_topology(args: argparse.Namespace) -> int:
-    topo = _build_topology(args.kind, args.size, args.seed)
+    size = max(4, int(round(args.size * args.scale)))
+    topo = _build_topology(args.kind, size, args.seed)
     print(f"topology: {args.kind}, {len(topo)} ASes, "
           f"{topo.graph.number_of_edges()} links")
     print(f"  core   : {len(topo.core_ases)}")
@@ -61,18 +66,18 @@ def cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_scenario(attack: str, agents: int, reflectors: int, rate: float,
-                  duration: float, seed: int, defense: str = "none"):
+def _run_cell(args: argparse.Namespace, attack: str, defense: str = "none"):
     from repro.experiments.common import ExperimentConfig
     from repro.experiments.e2_mitigation_matrix import run_cell
 
-    cfg = ExperimentConfig(seed=seed, scale=max(0.125, agents / 8))
+    cfg = ExperimentConfig(seed=args.seed,
+                           scale=args.scale * max(0.125, args.agents / 8),
+                           workers=args.workers)
     return run_cell(attack, defense, cfg)
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
-    cell = _run_scenario(args.kind, args.agents, args.reflectors, args.rate,
-                         args.duration, args.seed)
+    cell = _run_cell(args, args.kind)
     print(f"attack: {args.kind} ({args.agents} agents)")
     print(f"  attack packets delivered to victim: {cell.attack_pkts}")
     print(f"  legitimate goodput                : {cell.legit_goodput:.0%}")
@@ -80,10 +85,8 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
 
 def cmd_defend(args: argparse.Namespace) -> int:
-    base = _run_scenario(args.attack, args.agents, args.reflectors,
-                         args.rate, args.duration, args.seed, "none")
-    cell = _run_scenario(args.attack, args.agents, args.reflectors,
-                         args.rate, args.duration, args.seed, args.defense)
+    base = _run_cell(args, args.attack, "none")
+    cell = _run_cell(args, args.attack, args.defense)
     denom = max(1, base.attack_pkts)
     print(f"attack: {args.attack}   defense: {args.defense}")
     print(f"  attack at victim  : {base.attack_pkts} -> {cell.attack_pkts} "
@@ -106,7 +109,63 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     forwarded += ["--scale", str(args.scale), "--seed", str(args.seed)]
     if args.markdown:
         forwarded.append("--markdown")
+    if args.workers > 1:
+        forwarded += ["--parallel", str(args.workers)]
     return experiments_main(forwarded)
+
+
+def _load_spec(name_or_path: str):
+    from pathlib import Path
+
+    from repro.scenario import PRESETS, ScenarioSpec, preset
+
+    if name_or_path in PRESETS:
+        return preset(name_or_path)
+    path = Path(name_or_path)
+    if path.suffix == ".json" or path.exists():
+        return ScenarioSpec.from_json(path.read_text())
+    from repro.scenario import SpecError
+
+    raise SpecError(f"{name_or_path!r} is neither a preset "
+                    f"(see 'scenario list') nor a spec file")
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.scenario import ENGINES, PRESETS, run_scenario
+
+    if args.action == "list":
+        for name, spec in PRESETS.items():
+            defense = spec.defense.name
+            faults = " +faults" if spec.faults is not None else ""
+            print(f"{name:<24} attack={spec.attack.kind:<16} "
+                  f"defense={defense:<8}{faults} {spec.description}")
+        return 0
+
+    try:
+        spec = _load_spec(args.spec)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        spec = spec.with_seed(args.seed)
+    spec = spec.scaled(args.scale)
+    engines = tuple(ENGINES) if args.engine == "both" else (args.engine,)
+    status = 0
+    for engine in engines:
+        try:
+            metrics = run_scenario(spec, engine=engine)
+        except ReproError as exc:
+            print(f"{engine}: cannot run: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"scenario {spec.name!r} on the {engine} engine "
+              f"(seed={spec.seed}):")
+        for key, value in metrics.select(spec.metrics).items():
+            if isinstance(value, float):
+                value = round(value, 4)
+            print(f"  {key:<18}: {value}")
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,16 +174,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="Adaptive Distributed Traffic Control Service — "
                     "reproduction toolkit",
     )
+    def common(seed_default: Optional[int] = 42) -> argparse.ArgumentParser:
+        """A fresh --seed/--scale/--workers parent (argparse shares action
+        objects between parsers, so each subcommand needs its own copy)."""
+        p = argparse.ArgumentParser(add_help=False)
+        p.add_argument("--seed", type=int, default=seed_default)
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="size multiplier for workload knobs")
+        p.add_argument("--workers", "-j", type=int, default=1, metavar="N",
+                       help="worker processes for parallelisable sweeps")
+        return p
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_topo = sub.add_parser("topology", help="generate and describe an AS topology")
+    p_topo = sub.add_parser("topology", parents=[common()],
+                            help="generate and describe an AS topology")
     p_topo.add_argument("--kind", choices=TOPOLOGY_KINDS, default="hierarchical")
     p_topo.add_argument("--size", type=int, default=60)
-    p_topo.add_argument("--seed", type=int, default=42)
     p_topo.add_argument("--verbose", action="store_true")
     p_topo.set_defaults(fn=cmd_topology)
 
-    p_attack = sub.add_parser("attack", help="run an undefended DDoS scenario")
+    p_attack = sub.add_parser("attack", parents=[common()],
+                              help="run an undefended DDoS scenario")
     p_attack.add_argument("--kind", choices=("direct-spoofed",
                                              "direct-unspoofed", "reflector"),
                           default="reflector")
@@ -132,10 +203,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_attack.add_argument("--reflectors", type=int, default=6)
     p_attack.add_argument("--rate", type=float, default=300.0)
     p_attack.add_argument("--duration", type=float, default=0.5)
-    p_attack.add_argument("--seed", type=int, default=42)
     p_attack.set_defaults(fn=cmd_attack)
 
-    p_defend = sub.add_parser("defend", help="run an attack against a defense")
+    p_defend = sub.add_parser("defend", parents=[common()],
+                              help="run an attack against a defense")
     p_defend.add_argument("--attack", choices=("direct-spoofed",
                                                "direct-unspoofed", "reflector"),
                           default="reflector")
@@ -144,13 +215,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_defend.add_argument("--reflectors", type=int, default=6)
     p_defend.add_argument("--rate", type=float, default=300.0)
     p_defend.add_argument("--duration", type=float, default=0.5)
-    p_defend.add_argument("--seed", type=int, default=42)
     p_defend.set_defaults(fn=cmd_defend)
 
-    p_exp = sub.add_parser("experiments", help="run the claim-reproduction suite")
+    p_scen = sub.add_parser("scenario",
+                            help="list or run declarative scenario specs")
+    scen_sub = p_scen.add_subparsers(dest="action", required=True)
+    p_list = scen_sub.add_parser("list", help="list the named presets")
+    p_list.set_defaults(fn=cmd_scenario)
+    p_run = scen_sub.add_parser("run", parents=[common(seed_default=None)],
+                                help="run one spec on an engine")
+    p_run.add_argument("--spec", required=True,
+                       help="preset name or path to a spec .json file")
+    p_run.add_argument("--engine", choices=("packet", "fluid", "both"),
+                       default="packet")
+    p_run.set_defaults(fn=cmd_scenario)
+
+    p_exp = sub.add_parser("experiments", parents=[common()],
+                           help="run the claim-reproduction suite")
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
-    p_exp.add_argument("--scale", type=float, default=1.0)
-    p_exp.add_argument("--seed", type=int, default=42)
     p_exp.add_argument("--markdown", action="store_true")
     p_exp.set_defaults(fn=cmd_experiments)
 

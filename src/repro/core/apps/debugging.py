@@ -14,7 +14,7 @@ from the per-device observation records of the user's *own probe packets*
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

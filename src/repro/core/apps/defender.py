@@ -16,7 +16,7 @@ Signatures and responses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.apps.antispoof import AntiSpoofApp

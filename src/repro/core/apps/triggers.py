@@ -15,7 +15,7 @@ configurations" (Sec. 4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.components import (

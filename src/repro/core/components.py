@@ -16,7 +16,7 @@ components whose behaviour contradicts their declaration.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import ReproError
@@ -27,7 +27,6 @@ from repro.util.stats import WindowedCounter
 from repro.util.tokenbucket import TokenBucket
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.device import DeviceContext
     from repro.core.ownership import NetworkUser
 
 __all__ = [

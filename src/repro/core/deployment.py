@@ -10,7 +10,7 @@ devices should receive the service components.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import DeploymentError

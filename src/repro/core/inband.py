@@ -15,7 +15,7 @@ the wrapped :class:`~repro.core.tcsp.Tcsp` object on delivery.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import ControlPlaneUnavailable

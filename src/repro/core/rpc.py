@@ -28,7 +28,7 @@ delivered, the refusal is authoritative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import ControlPlaneUnavailable, RetryExhausted

@@ -27,7 +27,7 @@ skipped and recorded in ``undelivered`` for later resync
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
 
 from repro.errors import (

@@ -71,27 +71,25 @@ def register(experiment_id: str):
     return wrap
 
 
-def registry() -> dict[str, Callable[[ExperimentConfig], list[Table]]]:
-    # import for side effects: each module registers itself
-    from repro.experiments import (  # noqa: F401
-        e1_reflector_anatomy,
-        e2_mitigation_matrix,
-        e3_deployment_sweep,
-        e4_tcs_defense,
-        e5_safety,
-        e6_scalability,
-        e7_control_plane,
-        e8_protocol_misuse,
-        e9_traceback,
-        e10_triggers,
-        e11_debugging,
-        e12_incentives,
-        e13_ablations,
-        e14_server_farm,
-        e15_arms_race,
-        e16_resilience,
-    )
+def _discover() -> None:
+    """Import every ``e<N>_*`` module so it registers itself.
 
+    Auto-discovery via :mod:`pkgutil` means adding an experiment file is
+    enough — no import list to maintain here.
+    """
+    import importlib
+    import pkgutil
+    import re
+
+    import repro.experiments as pkg
+
+    for info in pkgutil.iter_modules(pkg.__path__):
+        if re.match(r"e\d+_", info.name):
+            importlib.import_module(f"{pkg.__name__}.{info.name}")
+
+
+def registry() -> dict[str, Callable[[ExperimentConfig], list[Table]]]:
+    _discover()
     return dict(_REGISTRY)
 
 

@@ -9,37 +9,34 @@ trigger threshold.
 
 from __future__ import annotations
 
-from repro.attack import AttackScenario, ScenarioConfig
-from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core import DeploymentScope
 from repro.core.apps import AutoReactionApp
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import Network, TopologyBuilder
+from repro.scenario import AttackSpec, ScenarioSpec, TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
 __all__ = ["run", "trigger_table"]
 
 
 def _run_once(cfg: ExperimentConfig, threshold: float | None):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 6, seed=cfg.seed))
-    scenario_cfg = ScenarioConfig(
-        attack_kind="direct-unspoofed", n_agents=6, attack_rate_pps=800.0,
-        duration=0.6, attack_start=0.2, seed=cfg.seed + 3,
-    )
-    sc = AttackScenario(net, scenario_cfg)
+    built = ScenarioSpec(
+        name="e10-triggers", seed=cfg.seed,
+        topology=TopologySpec(kind="hierarchical", n_core=2,
+                              transit_per_core=2, stub_per_transit=6),
+        attack=AttackSpec(kind="direct-unspoofed", n_agents=6,
+                          attack_rate_pps=800.0, duration=0.6,
+                          attack_start=0.2, seed_offset=3),
+    ).build()
+    net, sc = built.network, built.scenario
     app = None
     if threshold is not None:
-        authority = NumberAuthority()
-        tcsp = Tcsp("TCSP", authority, net)
-        tcsp.contract_isp("isp", net.topology.as_numbers)
-        prefix = net.topology.prefix_of(sc.victim_asn)
-        authority.record_allocation(prefix, "acme")
-        user, cert = tcsp.register_user("acme", [prefix])
-        svc = TrafficControlService(tcsp, user, cert)
+        world = build_tcs_world(net, owner_asn=sc.victim_asn, service=True)
         # the anomaly here: off-service UDP (legit web traffic uses dport 80)
         from repro.net import Protocol
 
-        app = AutoReactionApp(svc, threshold_pps=threshold, limit_bps=4e5,
-                              window=0.2,
+        app = AutoReactionApp(world.service, threshold_pps=threshold,
+                              limit_bps=4e5, window=0.2,
                               predicate=lambda p: (p.proto is Protocol.UDP
                                                    and p.dport != 80))
         # react on every device along the way, not only at the victim

@@ -10,10 +10,12 @@ the probe count.
 
 from __future__ import annotations
 
-from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core import DeploymentScope
 from repro.core.apps import NetworkDebuggingApp
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import LinkParams, Network, Packet, TopologyBuilder
+from repro.net import LinkParams, Network, Packet
+from repro.scenario import TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 from repro.util.units import Mbps, ms
 
@@ -22,19 +24,14 @@ __all__ = ["run", "debugging_table"]
 
 def _run_once(cfg: ExperimentConfig, n_probes: int, true_delay: float,
               squeeze: bool):
-    net = Network(TopologyBuilder.line(4))
+    net = Network(TopologySpec(kind="line", n=4).build(cfg.seed))
     link = net.link_between(1, 2)
     link.delay = true_delay
     if squeeze:
         link.bandwidth = 2e5  # forces queueing loss under the probe burst
         link.buffer_bytes = 2_000
-    authority = NumberAuthority()
-    tcsp = Tcsp("TCSP", authority, net)
-    tcsp.contract_isp("isp", net.topology.as_numbers)
-    prefix = net.topology.prefix_of(0)
-    authority.record_allocation(prefix, "acme")
-    user, cert = tcsp.register_user("acme", [prefix])
-    app = NetworkDebuggingApp(TrafficControlService(tcsp, user, cert))
+    world = build_tcs_world(net, owner_asn=0, service=True)
+    app = NetworkDebuggingApp(world.service)
     app.deploy(DeploymentScope.everywhere())
     src = net.add_host(0, access=LinkParams(bandwidth=Mbps(100), delay=ms(1),
                                             buffer_bytes=10**7))

@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.attack.reflector import ReflectorFluidModel
 from repro.core.apps import TcsAntiSpoofMitigation
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import ASRole, FluidNetwork, TopologyBuilder
+from repro.net import ASRole, FluidNetwork
+from repro.scenario import TopologySpec
+from repro.scenario.attacks import reflector_fanout, reflector_roles
 from repro.util.rng import derive_rng
 from repro.util.tables import Table
 
@@ -51,18 +52,16 @@ def incentive_table(cfg: ExperimentConfig) -> Table:
         ["tier", "attack_load_no_tcs_mbps", "attack_load_tcs_mbps", "freed_%"],
     )
     n_ases = cfg.scaled(300, minimum=60)
-    topo = TopologyBuilder.powerlaw(n=n_ases, m=2, seed=cfg.seed)
+    topo = TopologySpec(kind="powerlaw", n=n_ases, m=2).build(cfg.seed)
     fluid = FluidNetwork(topo)
     rng = derive_rng(cfg.seed, "e12")
-    stubs = list(topo.stub_ases)
-    rng.shuffle(stubs)
-    victim_asn = stubs[0]
     n_agents = cfg.scaled(60, minimum=10)
     n_reflectors = cfg.scaled(30, minimum=5)
-    agents = stubs[1:1 + n_agents]
-    reflectors = stubs[1 + n_agents:1 + n_agents + n_reflectors]
-    model = ReflectorFluidModel(fluid, victim_asn, agents, reflectors,
-                                rate_per_agent=2e6, amplification=5.0)
+    roles = reflector_roles(topo, rng, n_agents, n_reflectors,
+                            style="shuffle")
+    victim_asn = roles.victim_asn
+    model = reflector_fanout(fluid, roles, rate_per_agent=2e6,
+                             amplification=5.0)
 
     def attack_tier_loads(filters):
         req, res = model.evaluate(filters=filters, congestion=False)
@@ -99,17 +98,17 @@ def containment_table(cfg: ExperimentConfig) -> Table:
         ["stub_deployment", "killed_at_source_as_%", "escaped_to_core_%"],
     )
     n_ases = cfg.scaled(300, minimum=60)
-    topo = TopologyBuilder.powerlaw(n=n_ases, m=2, seed=cfg.seed + 1)
+    topo = TopologySpec(kind="powerlaw", n=n_ases, m=2,
+                        seed_offset=1).build(cfg.seed)
     fluid = FluidNetwork(topo)
     rng = derive_rng(cfg.seed, "e12b")
-    stubs = list(topo.stub_ases)
-    rng.shuffle(stubs)
-    victim_asn = stubs[0]
-    agents = stubs[1:1 + cfg.scaled(60, minimum=10)]
-    reflectors = stubs[-cfg.scaled(30, minimum=5):]
-    model = ReflectorFluidModel(fluid, victim_asn, agents, reflectors,
-                                rate_per_agent=2e6, amplification=5.0)
-    total_attack = len(agents) * 2e6
+    roles = reflector_roles(topo, rng, cfg.scaled(60, minimum=10),
+                            cfg.scaled(30, minimum=5), style="shuffle",
+                            reflectors_from_tail=True)
+    victim_asn = roles.victim_asn
+    model = reflector_fanout(fluid, roles, rate_per_agent=2e6,
+                             amplification=5.0)
+    total_attack = len(roles.agent_asns) * 2e6
     deploy_order = list(topo.stub_ases)
     derive_rng(cfg.seed, "e12b-deploy").shuffle(deploy_order)
     for fraction in (0.25, 0.5, 1.0):

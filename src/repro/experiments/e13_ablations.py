@@ -32,7 +32,7 @@ from repro.core.components import (
     LoggerComponent,
 )
 from repro.experiments.common import ExperimentConfig, register
-from repro.experiments.e6_scalability import build_device
+from repro.scenario.devices import build_device
 from repro.net import ASRole, IPv4Address, Packet, Prefix, Protocol, TCPFlags
 from repro.util.tables import Table
 

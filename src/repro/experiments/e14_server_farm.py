@@ -20,7 +20,8 @@ from __future__ import annotations
 from repro.attack import DirectFlood
 from repro.experiments.common import ExperimentConfig, register
 from repro.mitigation import Pushback, PushbackConfig
-from repro.net import LinkParams, Network, TopologyBuilder
+from repro.net import LinkParams, Network
+from repro.scenario import TopologySpec
 from repro.util.tables import Table
 from repro.util.units import Mbps, ms
 
@@ -30,7 +31,9 @@ FARM_LINK = LinkParams(bandwidth=Mbps(1000), delay=ms(2), buffer_bytes=4_000_000
 
 
 def _run_once(cfg: ExperimentConfig, defense: str):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 6, seed=cfg.seed))
+    net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                               transit_per_core=2,
+                               stub_per_transit=6).build(cfg.seed))
     stubs = net.topology.stub_ases
     # farm-hosted victim: fat pipe, bounded service rate
     victim = net.add_host(stubs[0], access=FARM_LINK, processing_pps=1_500.0)

@@ -16,10 +16,11 @@ rate at the victim and the defender's reaction time.
 from __future__ import annotations
 
 from repro.attack import Campaign, CampaignPhase, ConnectionPool
-from repro.core import NumberAuthority, Tcsp, TrafficControlService
 from repro.core.apps import ReactiveDefender
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import Network, TopologyBuilder
+from repro.net import Network
+from repro.scenario import TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
 __all__ = ["run", "arms_race_table"]
@@ -41,7 +42,9 @@ SIGNATURE_OF_PHASE = {
 
 
 def _run_once(cfg: ExperimentConfig, defended: bool):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 8, seed=cfg.seed))
+    net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                               transit_per_core=2,
+                               stub_per_transit=8).build(cfg.seed))
     stubs = net.topology.stub_ases
     victim = net.add_host(stubs[0])
     n_agents = cfg.scaled(5, minimum=3)
@@ -49,14 +52,9 @@ def _run_once(cfg: ExperimentConfig, defended: bool):
     reflectors = [net.add_host(a) for a in stubs[8:12]]
     defender = None
     if defended:
-        authority = NumberAuthority()
-        tcsp = Tcsp("TCSP", authority, net)
-        tcsp.contract_isp("isp", net.topology.as_numbers)
-        prefix = net.topology.prefix_of(victim.asn)
-        authority.record_allocation(prefix, "victim-co")
-        user, cert = tcsp.register_user("victim-co", [prefix])
-        svc = TrafficControlService(tcsp, user, cert)
-        defender = ReactiveDefender(svc, victim, threshold_pps=80.0)
+        world = build_tcs_world(net, owner="victim-co", owner_asn=victim.asn,
+                                service=True)
+        defender = ReactiveDefender(world.service, victim, threshold_pps=80.0)
     pool = ConnectionPool(victim)
     peers = [net.add_host(stubs[13]) for _ in range(10)]
     for peer in peers:

@@ -27,18 +27,14 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attack.flood import DirectFlood, TrafficGenerator
-from repro.core import (
-    ComponentGraph,
-    DeploymentScope,
-    NumberAuthority,
-    Tcsp,
-    TrafficControlService,
-)
+from repro.core import ComponentGraph, DeploymentScope
 from repro.core.components import HeaderFilter, HeaderMatch
 from repro.errors import ControlPlaneUnavailable
 from repro.experiments.common import ExperimentConfig, parallel_map, register
-from repro.net import ASRole, Network, Packet, Protocol, TopologyBuilder
-from repro.net.faults import FaultInjector, FaultPlan
+from repro.net import ASRole, Network, Packet, Protocol
+from repro.net.faults import FaultInjector
+from repro.scenario import FaultSpec, TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.rng import derive_rng
 from repro.util.tables import Table
 
@@ -53,14 +49,14 @@ ATTACK_RATE_PPS = 300.0
 LEGIT_RATE_PPS = 50.0
 CONTROL_PERIOD = 0.4   #: period of the user's background control calls
 
-#: fault intensity sweep: level name -> FaultPlan.random knobs
-LEVELS: tuple[tuple[str, dict], ...] = (
-    ("none", {}),
-    ("light", {"n_crashes": 2}),
-    ("moderate", {"n_crashes": 4, "n_loss_windows": 1, "loss_rate": 0.5,
-                  "n_partitions": 1}),
-    ("heavy", {"n_crashes": 8, "n_loss_windows": 2, "loss_rate": 0.8,
-               "n_partitions": 1, "tcsp_outages": 1}),
+#: fault intensity sweep: level name -> declarative fault schedule
+LEVELS: tuple[tuple[str, FaultSpec], ...] = (
+    ("none", FaultSpec()),
+    ("light", FaultSpec(n_crashes=2)),
+    ("moderate", FaultSpec(n_crashes=4, n_loss_windows=1, loss_rate=0.5,
+                           n_partitions=1)),
+    ("heavy", FaultSpec(n_crashes=8, n_loss_windows=2, loss_rate=0.8,
+                        n_partitions=1, tcsp_outages=1)),
 )
 
 
@@ -73,22 +69,13 @@ def _drop_attack_factory(device_ctx):
 
 def _world(seed: int, n_agents: int, n_legit: int, fail_policy: str):
     """A contracted, deployed, watched TCS world with a flood scheduled."""
-    net = Network(TopologyBuilder.hierarchical(2, 2, 6, seed=seed))
-    authority = NumberAuthority()
-    tcsp = Tcsp("TCSP", authority, net)
-    ases = net.topology.as_numbers
-    n_isps = 3
-    chunk = max(1, len(ases) // n_isps)
-    nmses = []
-    for i in range(n_isps):
-        part = ases[i * chunk:] if i == n_isps - 1 else ases[i * chunk:(i + 1) * chunk]
-        nmses.append(tcsp.contract_isp(f"isp-{i}", part))
+    net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                               transit_per_core=2,
+                               stub_per_transit=6).build(seed))
+    world = build_tcs_world(net, n_isps=3, service=True, home_nms_index=0)
+    tcsp, nmses, svc = world.tcsp, world.nmses, world.service
     stubs = net.topology.stub_ases
-    victim_asn = stubs[0]
-    prefix = net.topology.prefix_of(victim_asn)
-    authority.record_allocation(prefix, "acme")
-    user, cert = tcsp.register_user("acme", [prefix])
-    svc = TrafficControlService(tcsp, user, cert, home_nms=nmses[0])
+    victim_asn = world.owner_asn
     # filter close to the sources (Sec. 5.2): every stub border except the
     # victim's own, so a crashed source-side device has measurable impact
     scope = DeploymentScope(roles=(ASRole.STUB,),
@@ -134,12 +121,12 @@ def _window_effs(samples: list[tuple], n_agents: int) -> list[tuple]:
 
 def _run_level(point: tuple) -> dict:
     """One sweep point (top-level so parallel_map can pickle it)."""
-    level, knobs, seed, n_agents, n_legit = point
+    level, fault_spec, seed, n_agents, n_legit = point
     net, tcsp, nmses, svc, victim, attacker_asns, legit_asns = _world(
         seed, n_agents, n_legit, fail_policy="fail-open")
-    plan = FaultPlan.random(
+    plan = fault_spec.plan(
         seed, horizon=HORIZON, device_asns=attacker_asns,
-        nms_ids=[n.isp_id for n in nmses[1:]], **knobs)
+        nms_ids=[n.isp_id for n in nmses[1:]])
     injector = FaultInjector(plan, net, tcsp=tcsp, nmses=nmses, seed=seed)
     injector.arm()
 

@@ -9,14 +9,9 @@ several ten thousand hosts in a short time", Sec. 2.1, Slammer-style).
 
 from __future__ import annotations
 
-from repro.attack import (
-    AttackScenario,
-    EpidemicModel,
-    ScenarioConfig,
-    measure_amplification,
-)
+from repro.attack import EpidemicModel, measure_amplification
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import Network, TopologyBuilder
+from repro.scenario import AttackSpec, ScenarioSpec, TopologySpec
 from repro.util.tables import Table
 
 __all__ = ["run", "anatomy_table", "worm_table"]
@@ -34,18 +29,20 @@ def anatomy_table(cfg: ExperimentConfig) -> Table:
         (cfg.scaled(12), cfg.scaled(8), 3.0),
     ]
     for n_agents, n_reflectors, amp in sweeps:
-        net = Network(TopologyBuilder.hierarchical(2, 2, 8, seed=cfg.seed))
-        scenario_cfg = ScenarioConfig(
-            attack_kind="reflector", n_agents=n_agents,
-            n_reflectors=n_reflectors, attack_rate_pps=200.0,
-            amplification=amp, reflector_mode="dns",
-            duration=0.5, seed=cfg.seed,
+        spec = ScenarioSpec(
+            name="e1-anatomy", seed=cfg.seed,
+            topology=TopologySpec(kind="hierarchical", n_core=2,
+                                  transit_per_core=2, stub_per_transit=8),
+            attack=AttackSpec(kind="reflector", n_agents=n_agents,
+                              n_reflectors=n_reflectors,
+                              attack_rate_pps=200.0, amplification=amp,
+                              reflector_mode="dns", duration=0.5),
         )
-        scenario = AttackScenario(net, scenario_cfg)
+        scenario = spec.build().scenario
         metrics = scenario.run()
         report = measure_amplification(
             scenario.structure, scenario.victim, metrics.control_packets,
-            metrics.attack_requests_sent * scenario_cfg.request_size,
+            metrics.attack_requests_sent * spec.attack.request_size,
         )
         table.add_row(n_agents, n_reflectors, amp, report.control_packets,
                       report.attack_packets_at_victim,

@@ -14,33 +14,26 @@ The paper's Sec. 3 conclusions appear as the matrix's shape: pushback
 misfires under spoofing, traceback names the reflectors, overlays cut off
 non-participating clients, ingress only helps where agents' ISPs deploy
 it, and the TCS stops the reflector attack with zero collateral.
+
+Each cell is one :class:`~repro.scenario.ScenarioSpec` run on the packet
+engine; the defense wiring lives in :mod:`repro.scenario.defenses`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
 
-from repro.attack import AttackScenario, ScenarioConfig
 from repro.experiments.common import ExperimentConfig, register
-from repro.mitigation import (
-    IngressFiltering,
-    LastHopFilter,
-    I3Defense,
-    PPMTraceback,
-    Pushback,
-    PushbackConfig,
-    RouteBasedFiltering,
-    SecureOverlay,
-    TracebackFilter,
-    deployment_sample,
+from repro.scenario import (
+    AttackSpec,
+    DefenseSpec,
+    PacketEngine,
+    ScenarioSpec,
+    TopologySpec,
 )
-from repro.mitigation.traceback import MarkingCollector
-from repro.core.apps import TcsAntiSpoofMitigation
-from repro.net import Network, Packet, Protocol, TopologyBuilder
 from repro.util.tables import Table
 
-__all__ = ["run", "matrix_table", "run_cell", "CellResult"]
+__all__ = ["run", "matrix_table", "run_cell", "cell_spec", "CellResult"]
 
 ATTACKS = ("direct-spoofed", "direct-unspoofed", "reflector")
 MITIGATIONS = ("none", "ingress", "rbf", "pushback", "traceback-filter",
@@ -59,166 +52,38 @@ class CellResult:
     notes: str = ""
 
 
-def _base_scenario(attack_kind: str, cfg: ExperimentConfig,
-                   rate: float = 1500.0) -> tuple[Network, AttackScenario]:
-    net = Network(TopologyBuilder.hierarchical(2, 2, 8, seed=cfg.seed))
-    scenario_cfg = ScenarioConfig(
-        attack_kind=attack_kind, n_agents=cfg.scaled(8),
-        n_reflectors=cfg.scaled(6), n_legit_clients=4,
-        attack_rate_pps=rate, request_size=100, amplification=10.0,
-        reflector_mode="dns", duration=0.6, attack_start=0.1,
-        seed=cfg.seed + 1,
+def cell_spec(attack_kind: str, mitigation: str, cfg: ExperimentConfig,
+              rate: float = 1500.0) -> ScenarioSpec:
+    """The declarative spec for one (attack, defense) matrix cell."""
+    defense = (DefenseSpec.of("rbf", fraction=0.3) if mitigation == "rbf"
+               else DefenseSpec.of(mitigation))
+    return ScenarioSpec(
+        name=f"e2-{attack_kind}-{mitigation}", seed=cfg.seed,
+        topology=TopologySpec(kind="hierarchical", n_core=2,
+                              transit_per_core=2, stub_per_transit=8),
+        attack=AttackSpec(
+            kind=attack_kind, n_agents=cfg.scaled(8),
+            n_reflectors=cfg.scaled(6), n_legit_clients=4,
+            attack_rate_pps=rate, request_size=100, amplification=10.0,
+            reflector_mode="dns", duration=0.6, attack_start=0.1,
+            seed_offset=1,
+        ),
+        defense=defense,
     )
-    return net, AttackScenario(net, scenario_cfg)
 
 
 def run_cell(attack_kind: str, mitigation: str,
              cfg: ExperimentConfig) -> CellResult:
     """Run one (attack, defense) cell of the matrix."""
-    net, sc = _base_scenario(attack_kind, cfg)
-    agent_asns = {a.asn for a in sc.agents}
-    notes = ""
-    identified: set[int] = set()
-    legit_wrapper = None
-    until = sc.config.attack_start + sc.config.duration + 0.5
-
-    if mitigation == "ingress":
-        IngressFiltering().deploy(net, net.topology.stub_ases)
-    elif mitigation == "rbf":
-        asns = deployment_sample(net.topology, 0.3, seed=cfg.seed)
-        RouteBasedFiltering().deploy(net, asns)
-        notes = "30% of ASes"
-    elif mitigation == "pushback":
-        pb = Pushback(PushbackConfig(top_aggregates=3))
-        pb.deploy(net, net.topology.as_numbers, until=until)
-    elif mitigation == "traceback-filter":
-        ppm = PPMTraceback(p=0.1, seed=cfg.seed)
-        ppm.deploy(net, net.topology.as_numbers)
-        collector = MarkingCollector()
-        sc.victim.add_responder(collector.on_packet)
-
-        def react() -> None:
-            found = PPMTraceback.identified_source_asns(collector, min_count=2)
-            identified.update(found)
-            if found:
-                TracebackFilter(found).deploy(net, [sc.victim_asn])
-
-        net.sim.schedule_at(sc.config.attack_start + 0.3, react)
-        notes = "filter identified sources at victim ISP"
-    elif mitigation == "sos":
-        stubs = [a for a in net.topology.stub_ases
-                 if a != sc.victim_asn and a not in agent_asns]
-        sos = SecureOverlay(sc.victim, overlay_asns=stubs[:4], n_soaps=2,
-                            n_beacons=1, n_servlets=1)
-        sos.deploy(net)
-        switched = sc.legit_clients[: len(sc.legit_clients) // 2]
-        for client in switched:
-            sos.authorize(client)
-        switched_set = {id(c) for c in switched}
-
-        def legit_wrapper(client, pkt, sos=sos, switched_set=switched_set):
-            if id(client) in switched_set:
-                return sos.overlay_packet(client, pkt)
-            return pkt
-
-        notes = "half the clients joined the overlay"
-    elif mitigation == "i3":
-        stubs = [a for a in net.topology.stub_ases
-                 if a != sc.victim_asn and a not in agent_asns]
-        i3 = I3Defense(sc.victim, i3_asns=stubs[:2])
-        i3.deploy(net)
-        switched = sc.legit_clients[: len(sc.legit_clients) // 2]
-        switched_set = {id(c) for c in switched}
-
-        def legit_wrapper(client, pkt, i3=i3, switched_set=switched_set):
-            if id(client) in switched_set:
-                return i3.trigger_packet(client, pkt)
-            return pkt
-
-        notes = "half the clients use the trigger; victim IP already known"
-    elif mitigation == "lasthop":
-        lh = LastHopFilter(
-            sc.victim,
-            lambda p: p.proto is Protocol.UDP and p.dport != 80,
-            processing_capacity_pps=800.0,
-        )
-        lh.deploy(net)
-
-        def attempt(lh=lh):
-            ok = lh.try_configure()
-            nonlocal_notes["msg"] = ("configured" if ok
-                                     else "victim overloaded: config FAILED")
-
-        nonlocal_notes = {"msg": ""}
-        net.sim.schedule_at(sc.config.attack_start + 0.2, attempt)
-    elif mitigation == "tcs":
-        if attack_kind == "direct-unspoofed":
-            # sources are genuine: the victim reads them off its own
-            # traffic and pushes blacklist rules close to the sources.
-            sc.victim.record = True
-
-            def react_tcs() -> None:
-                src_asns = {
-                    net.topology.as_of(p.src)
-                    for _, p in sc.victim.log if p.kind.startswith("attack")
-                }
-                src_asns.discard(None)
-                identified.update(src_asns)
-                victim_prefix = net.topology.prefix_of(sc.victim_asn)
-                for asn in src_asns:
-                    prefix = net.topology.prefix_of(asn)
-
-                    def filt(pkt, router, link, now,
-                             prefix=prefix, victim_prefix=victim_prefix):
-                        # scope-confined: only the owner's (victim-bound)
-                        # traffic from the offending prefix is touched
-                        return not (victim_prefix.contains(pkt.dst)
-                                    and prefix.contains(pkt.src))
-
-                    net.routers[asn].add_filter("tcs-blacklist", filt)
-
-            net.sim.schedule_at(sc.config.attack_start + 0.2, react_tcs)
-            notes = "TCS blacklist near sources (genuine addresses)"
-        elif attack_kind == "direct-spoofed":
-            # spoofed sources defeat source-based rules, but the victim
-            # owns the *destination*: a distributed firewall rule (drop
-            # off-service UDP toward the victim) runs in the dst-owner
-            # stage at every stub border, killing the flood at the source.
-            victim_prefix = net.topology.prefix_of(sc.victim_asn)
-            for asn in net.topology.stub_ases:
-                def filt(pkt, router, link, now, victim_prefix=victim_prefix):
-                    return not (victim_prefix.contains(pkt.dst)
-                                and pkt.proto is Protocol.UDP
-                                and pkt.dport != 80)
-
-                net.routers[asn].add_filter("tcs-firewall", filt)
-            notes = "TCS distributed firewall (dst-owner stage) at stub borders"
-        else:
-            prefix = net.topology.prefix_of(sc.victim_asn)
-            mit = TcsAntiSpoofMitigation([prefix], [sc.victim_asn])
-            mit.deploy(net, net.topology.stub_ases)
-            notes = "TCS anti-spoofing at all stub borders"
-    elif mitigation != "none":
-        raise ValueError(f"unknown mitigation {mitigation!r}")
-
-    sc.launch(legit=legit_wrapper is None)
-    if legit_wrapper is not None:
-        sc.launch_legit(legit_wrapper)
-    metrics = sc.run()
-
-    if mitigation == "pushback":
-        identified.update(pb.identified_asns())
-    if mitigation == "lasthop":
-        notes = nonlocal_notes["msg"]
-
-    true_ids = len(identified & agent_asns)
-    false_ids = len(identified - agent_asns)
+    m = PacketEngine().run(cell_spec(attack_kind, mitigation, cfg))
     return CellResult(
         attack_kind=attack_kind, mitigation=mitigation,
-        attack_pkts=metrics.attack_packets_at_victim,
-        legit_goodput=metrics.legit_goodput,
-        collateral=metrics.collateral_fraction,
-        identified_true=true_ids, identified_false=false_ids, notes=notes,
+        attack_pkts=int(m.attack_delivered),
+        legit_goodput=m.legit_goodput,
+        collateral=m.collateral,
+        identified_true=m.identified_true,
+        identified_false=m.identified_false,
+        notes=m.notes,
     )
 
 

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.experiments.common import ExperimentConfig, parallel_map, register
 from repro.mitigation import IngressFiltering, RouteBasedFiltering
-from repro.net import Flow, FlowSet, FluidNetwork, TopologyBuilder
+from repro.net import FlowSet, FluidNetwork, TopologyBuilder
+from repro.scenario.attacks import spoofed_flood_flows
 from repro.util.rng import derive_rng
 from repro.util.tables import Table
 
@@ -27,22 +28,6 @@ __all__ = ["run", "sweep_table", "spoofed_flood_flows"]
 _SweepPoint = tuple[ExperimentConfig, int, int, int]
 
 FRACTIONS = (0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0)
-
-
-def spoofed_flood_flows(topology, victim_asn: int, n_agents: int,
-                        rng) -> FlowSet:
-    """Direct spoofed flood: agents at random stubs, random claimed ASes."""
-    stubs = [a for a in topology.stub_ases if a != victim_asn]
-    all_ases = topology.as_numbers
-    flows = FlowSet()
-    for i in range(n_agents):
-        agent = int(stubs[int(rng.integers(0, len(stubs)))])
-        claimed = agent
-        while claimed == agent:
-            claimed = int(all_ases[int(rng.integers(0, len(all_ases)))])
-        flows.add(Flow(agent, victim_asn, 1e6, kind="attack",
-                       claimed_src_asn=claimed, tag=f"agent{i}"))
-    return flows
 
 
 def _sweep_trial(point: _SweepPoint) -> dict[float, tuple[float, float, float]]:

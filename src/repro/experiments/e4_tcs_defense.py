@@ -21,10 +21,11 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.attack.reflector import ReflectorFluidModel
 from repro.core.apps import TcsAntiSpoofMitigation
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import Flow, FluidNetwork, TopologyBuilder
+from repro.net import Flow, FluidNetwork
+from repro.scenario import TopologySpec
+from repro.scenario.attacks import reflector_fanout, reflector_roles
 from repro.util.rng import derive_rng
 from repro.util.tables import Table
 
@@ -48,23 +49,17 @@ class _VictimEdgeFilter:
 
 def _build(cfg: ExperimentConfig, trial: int):
     n_ases = cfg.scaled(300, minimum=60)
-    topo = TopologyBuilder.powerlaw(n=n_ases, m=2, seed=cfg.seed + trial)
+    topo = TopologySpec(kind="powerlaw", n=n_ases, m=2,
+                        seed_offset=trial).build(cfg.seed)
     fluid = FluidNetwork(topo)
     rng = derive_rng(cfg.seed, "e4", trial)
-    stubs = list(topo.stub_ases)
-    victim_asn = int(stubs[int(rng.integers(0, len(stubs)))])
-    others = [a for a in stubs if a != victim_asn]
-    rng.shuffle(others)
-    n_agents = cfg.scaled(60, minimum=10)
-    n_reflectors = cfg.scaled(30, minimum=5)
-    agents = others[:n_agents]
-    reflectors = others[n_agents:n_agents + n_reflectors]
-    model = ReflectorFluidModel(fluid, victim_asn, agents, reflectors,
-                                rate_per_agent=1e6, amplification=5.0)
-    legit = [Flow(a, victim_asn, 2e5, kind="legit")
-             for a in others[n_agents + n_reflectors:
-                             n_agents + n_reflectors + 10]]
-    return topo, fluid, model, legit, victim_asn
+    roles = reflector_roles(topo, rng, cfg.scaled(60, minimum=10),
+                            cfg.scaled(30, minimum=5), style="pick-victim")
+    model = reflector_fanout(fluid, roles, rate_per_agent=1e6,
+                             amplification=5.0)
+    legit = [Flow(a, roles.victim_asn, 2e5, kind="legit")
+             for a in roles.spare_asns[:10]]
+    return topo, fluid, model, legit, roles.victim_asn
 
 
 def defense_sweep_table(cfg: ExperimentConfig) -> Table:

@@ -12,12 +12,9 @@ from __future__ import annotations
 from repro.core import (
     AdaptiveDevice,
     ComponentGraph,
-    DeploymentScope,
     DeviceContext,
     NetworkUser,
-    NumberAuthority,
     OwnershipRegistry,
-    Tcsp,
     vet_component,
 )
 from repro.core.components import Capabilities, Component, Verdict
@@ -29,22 +26,21 @@ from repro.errors import (
     VettingError,
 )
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import ASRole, IPv4Address, Network, Packet, Prefix, TopologyBuilder
+from repro.net import ASRole, IPv4Address, Network, Packet, Prefix
+from repro.scenario import TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
 __all__ = ["run", "safety_table"]
 
 
 def _world(cfg: ExperimentConfig):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 4, seed=cfg.seed))
-    authority = NumberAuthority()
-    tcsp = Tcsp("TCSP", authority, net)
-    nms = tcsp.contract_isp("isp", net.topology.as_numbers)
-    victim_asn = net.topology.stub_ases[0]
-    prefix = net.topology.prefix_of(victim_asn)
-    authority.record_allocation(prefix, "acme")
-    user, cert = tcsp.register_user("acme", [prefix])
-    return net, authority, tcsp, nms, user, cert, victim_asn
+    net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                               transit_per_core=2,
+                               stub_per_transit=4).build(cfg.seed))
+    world = build_tcs_world(net)
+    return (net, world.authority, world.tcsp, world.nms, world.user,
+            world.cert, world.owner_asn)
 
 
 def safety_table(cfg: ExperimentConfig) -> Table:

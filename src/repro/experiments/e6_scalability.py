@@ -19,48 +19,13 @@ from __future__ import annotations
 
 import time
 
-from repro.core import (
-    AdaptiveDevice,
-    ComponentGraph,
-    DeviceContext,
-    NetworkUser,
-    OwnershipRegistry,
-)
-from repro.core.components import HeaderFilter, HeaderMatch
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import ASRole, IPv4Address, Packet, Prefix, Protocol
+from repro.net import IPv4Address, Packet
+from repro.scenario.devices import build_device
 from repro.util.tables import Table
 
 __all__ = ["run", "rules_vs_subscribers_table", "rules_vs_hosts_table",
            "device_cost_table", "flow_cache_table", "build_device"]
-
-
-def build_device(n_subscribers: int, rules_per_subscriber: int = 2,
-                 with_services: bool = True) -> tuple[AdaptiveDevice, list[NetworkUser]]:
-    """A device serving ``n_subscribers`` users, each with a small graph.
-
-    Subscribers own disjoint /16 prefixes under 10.0.0.0/8.
-    """
-    registry = OwnershipRegistry()
-    users = []
-    for i in range(n_subscribers):
-        prefix = Prefix((i + 1) << 16, 16)  # disjoint /16s: 0.1/16, 0.2/16, ...
-        user = NetworkUser(f"user-{i}", prefixes=[prefix])
-        registry.register(user)
-        users.append(user)
-    device = AdaptiveDevice(
-        DeviceContext(asn=1, role=ASRole.STUB,
-                      local_prefix=Prefix.parse("192.168.0.0/16")),
-        registry)
-    if with_services:
-        for user in users:
-            graph = ComponentGraph(f"svc:{user.user_id}")
-            graph.chain(*[
-                HeaderFilter(f"r{j}", HeaderMatch(proto=Protocol.TCP, dport=7))
-                for j in range(rules_per_subscriber)
-            ])
-            device.install(user, dst_graph=graph)
-    return device, users
 
 
 def rules_vs_subscribers_table(cfg: ExperimentConfig) -> Table:

@@ -16,33 +16,27 @@ from __future__ import annotations
 from repro.core import (
     ComponentGraph,
     DeploymentScope,
-    NumberAuthority,
-    Tcsp,
     TrafficControlService,
 )
 from repro.core.components import HeaderFilter, HeaderMatch
 from repro.errors import ControlPlaneUnavailable
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import Network, Protocol, TopologyBuilder
+from repro.net import Network, Protocol
+from repro.scenario import TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
 __all__ = ["run", "workflow_table", "resilience_table"]
 
+_TOPOLOGY = TopologySpec(kind="hierarchical", n_core=2, transit_per_core=2,
+                         stub_per_transit=6)
+
 
 def _world(cfg: ExperimentConfig, n_isps: int = 4):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 6, seed=cfg.seed))
-    authority = NumberAuthority()
-    tcsp = Tcsp("TCSP", authority, net)
-    ases = net.topology.as_numbers
-    chunk = max(1, len(ases) // n_isps)
-    nmses = []
-    for i in range(n_isps):
-        part = ases[i * chunk:] if i == n_isps - 1 else ases[i * chunk:(i + 1) * chunk]
-        nmses.append(tcsp.contract_isp(f"isp-{i}", part))
-    victim_asn = net.topology.stub_ases[0]
-    prefix = net.topology.prefix_of(victim_asn)
-    authority.record_allocation(prefix, "acme")
-    return net, authority, tcsp, nmses, victim_asn, prefix
+    net = Network(_TOPOLOGY.build(cfg.seed))
+    world = build_tcs_world(net, n_isps=n_isps, register=False)
+    return (net, world.authority, world.tcsp, world.nmses, world.owner_asn,
+            world.prefix)
 
 
 def _factory(device_ctx):
@@ -126,10 +120,8 @@ def inband_table(cfg: ExperimentConfig) -> Table:
         ["flood_pps_on_tcsp", "requests_answered_%", "mean_latency_ms"],
     )
     for flood_pps in (0.0, 200.0, 2000.0, 10_000.0):
-        net = Network(TopologyBuilder.hierarchical(2, 2, 6, seed=cfg.seed))
-        authority = NumberAuthority()
-        tcsp = Tcsp("TCSP", authority, net)
-        tcsp.contract_isp("isp", net.topology.as_numbers)
+        net = Network(_TOPOLOGY.build(cfg.seed))
+        tcsp = build_tcs_world(net, allocate=False).tcsp
         stubs = net.topology.stub_ases
         user_host = net.add_host(stubs[0])
         plane = InbandControlPlane(net, tcsp, tcsp_asn=stubs[8],

@@ -10,39 +10,32 @@ ICMP variants.
 
 from __future__ import annotations
 
-from repro.attack import ConnectionPool, ProtocolMisuseAttack
-from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core import DeploymentScope
 from repro.core.apps import DistributedFirewallApp, FirewallRule
 from repro.experiments.common import ExperimentConfig, register
-from repro.net import Network, TopologyBuilder
+from repro.net import Network
+from repro.scenario import TopologySpec
+from repro.scenario.attacks import launch_teardown, teardown_setup
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
 __all__ = ["run", "misuse_table"]
 
 
 def _world(cfg: ExperimentConfig, firewall: bool, mode: str, rate: float):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 5, seed=cfg.seed))
-    stubs = net.topology.stub_ases
-    victim = net.add_host(stubs[0])
-    peers = [net.add_host(a) for a in stubs[1:5]]
-    attacker = net.add_host(stubs[5])
-    pool = ConnectionPool(victim)
-    for peer in peers:
-        pool.establish(peer)
+    net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                               transit_per_core=2,
+                               stub_per_transit=5).build(cfg.seed))
+    victim, peers, attacker, pool = teardown_setup(net, n_peers=4)
     fw = None
     if firewall:
-        authority = NumberAuthority()
-        tcsp = Tcsp("TCSP", authority, net)
-        tcsp.contract_isp("isp", net.topology.as_numbers)
-        prefix = net.topology.prefix_of(victim.asn)
-        authority.record_allocation(prefix, "acme")
-        user, cert = tcsp.register_user("acme", [prefix])
-        svc = TrafficControlService(tcsp, user, cert)
-        fw = DistributedFirewallApp(svc, [FirewallRule.block_teardown_rst(),
-                                          FirewallRule.block_icmp_unreachable()])
+        world = build_tcs_world(net, owner_asn=victim.asn, service=True)
+        fw = DistributedFirewallApp(
+            world.service, [FirewallRule.block_teardown_rst(),
+                            FirewallRule.block_icmp_unreachable()])
         fw.deploy(DeploymentScope.everywhere())
-    ProtocolMisuseAttack(net, attacker, pool, rate_pps=rate, duration=0.5,
-                         mode=mode, seed=cfg.seed).launch()
+    launch_teardown(net, attacker, pool, rate_pps=rate, duration=0.5,
+                    mode=mode, seed=cfg.seed)
     net.run(until=1.0)
     return pool, fw
 

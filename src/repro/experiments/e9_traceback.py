@@ -14,25 +14,29 @@ retained windows become untraceable.
 
 from __future__ import annotations
 
-from repro.attack import AttackScenario, ScenarioConfig
-from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
+from repro.core import DeploymentScope
 from repro.core.apps import SpieTracebackApp
 from repro.experiments.common import ExperimentConfig, register
 from repro.mitigation import PPMTraceback, SpieTraceback
 from repro.mitigation.traceback import MarkingCollector
 from repro.net import Network, Packet, TopologyBuilder
+from repro.scenario import AttackSpec, ScenarioSpec, TopologySpec
+from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
 __all__ = ["run", "identification_table", "backlog_table"]
 
 
 def _scenario(attack_kind: str, cfg: ExperimentConfig):
-    net = Network(TopologyBuilder.hierarchical(2, 2, 8, seed=cfg.seed))
-    scenario_cfg = ScenarioConfig(
-        attack_kind=attack_kind, n_agents=6, n_reflectors=5,
-        attack_rate_pps=300.0, duration=0.5, seed=cfg.seed + 2,
-    )
-    return net, AttackScenario(net, scenario_cfg)
+    built = ScenarioSpec(
+        name=f"e9-{attack_kind}", seed=cfg.seed,
+        topology=TopologySpec(kind="hierarchical", n_core=2,
+                              transit_per_core=2, stub_per_transit=8),
+        attack=AttackSpec(kind=attack_kind, n_agents=6, n_reflectors=5,
+                          attack_rate_pps=300.0, duration=0.5,
+                          seed_offset=2),
+    ).build()
+    return built.network, built.scenario
 
 
 def identification_table(cfg: ExperimentConfig) -> Table:
@@ -61,18 +65,18 @@ def identification_table(cfg: ExperimentConfig) -> Table:
                     spie = SpieTraceback()
                     spie.deploy(net, net.topology.as_numbers)
                     sc.run()
-                    tracer = lambda pkt: spie.trace(pkt, sc.victim_asn).origin_asn
+
+                    def tracer(pkt, spie=spie):
+                        return spie.trace(pkt, sc.victim_asn).origin_asn
                 else:
-                    authority = NumberAuthority()
-                    tcsp = Tcsp("TCSP", authority, net)
-                    tcsp.contract_isp("isp", net.topology.as_numbers)
-                    prefix = net.topology.prefix_of(sc.victim_asn)
-                    authority.record_allocation(prefix, "acme")
-                    user, cert = tcsp.register_user("acme", [prefix])
-                    app = SpieTracebackApp(TrafficControlService(tcsp, user, cert))
+                    world = build_tcs_world(net, owner_asn=sc.victim_asn,
+                                            service=True)
+                    app = SpieTracebackApp(world.service)
                     app.deploy(DeploymentScope.everywhere())
                     sc.run()
-                    tracer = lambda pkt: app.trace(pkt, sc.victim_asn).origin_asn
+
+                    def tracer(pkt, app=app):
+                        return app.trace(pkt, sc.victim_asn).origin_asn
                 attack_pkts = [p for _, p in sc.victim.log
                                if p.kind.startswith("attack")][:40]
                 for pkt in attack_pkts:

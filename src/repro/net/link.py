@@ -12,7 +12,7 @@ statistics in individual routers", Sec. 3.1).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet

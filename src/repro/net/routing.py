@@ -13,9 +13,8 @@ anti-spoofing rely on.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator
 
-import networkx as nx
 
 from repro.errors import RoutingError
 from repro.net.topology import Topology

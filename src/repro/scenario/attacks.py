@@ -1,0 +1,140 @@
+"""Deduplicated attack-flow and role-placement builders.
+
+The fluid-model experiments each carried a private copy of "put a spoofed
+flood / reflector fan-out / teardown attack on this topology".  Those
+builders live here now, unchanged (regression-pinned by
+tests/scenario/test_attacks.py against the historical inline versions):
+
+* :func:`spoofed_flood_flows` — E3's direct spoofed flood (agents at
+  random stubs, random claimed source ASes).
+* :func:`reflector_roles` — the two historical stub-placement conventions
+  for victim/agents/reflectors (E4's pick-victim-then-shuffle and E12's
+  shuffle-then-slice), kept as distinct styles because each draws from the
+  RNG in a different order and the tables are pinned to those draws.
+* :func:`reflector_fanout` — the agents x reflectors request fan-out as a
+  two-pass :class:`~repro.attack.reflector.ReflectorFluidModel`.
+* :func:`teardown_setup` — E8's protocol-misuse world: a victim with
+  established TCP connections, peers, and an attacker forging teardowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.attack.protocol_misuse import ConnectionPool, ProtocolMisuseAttack
+from repro.attack.reflector import ReflectorFluidModel
+from repro.net.fluid import Flow, FlowSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.fluid import FluidNetwork
+    from repro.net.network import Network
+    from repro.net.node import Host
+    from repro.net.topology import Topology
+
+__all__ = ["spoofed_flood_flows", "ReflectorRoles", "reflector_roles",
+           "reflector_fanout", "teardown_setup", "launch_teardown"]
+
+
+def spoofed_flood_flows(topology: "Topology", victim_asn: int, n_agents: int,
+                        rng) -> FlowSet:
+    """Direct spoofed flood: agents at random stubs, random claimed ASes."""
+    stubs = [a for a in topology.stub_ases if a != victim_asn]
+    all_ases = topology.as_numbers
+    flows = FlowSet()
+    for i in range(n_agents):
+        agent = int(stubs[int(rng.integers(0, len(stubs)))])
+        claimed = agent
+        while claimed == agent:
+            claimed = int(all_ases[int(rng.integers(0, len(all_ases)))])
+        flows.add(Flow(agent, victim_asn, 1e6, kind="attack",
+                       claimed_src_asn=claimed, tag=f"agent{i}"))
+    return flows
+
+
+@dataclass(frozen=True)
+class ReflectorRoles:
+    """Who plays what in a reflector fan-out on stub ASes."""
+
+    victim_asn: int
+    agent_asns: tuple[int, ...]
+    reflector_asns: tuple[int, ...]
+    spare_asns: tuple[int, ...]     # remaining stubs, placement order
+
+
+def reflector_roles(topology: "Topology", rng, n_agents: int,
+                    n_reflectors: int, *, style: str = "pick-victim",
+                    reflectors_from_tail: bool = False) -> ReflectorRoles:
+    """Place victim/agents/reflectors on stub ASes.
+
+    ``style="pick-victim"`` draws the victim uniformly, then shuffles the
+    remaining stubs and slices agents/reflectors off the front (E4's
+    convention).  ``style="shuffle"`` shuffles all stubs and takes the
+    victim from position 0 (E12's convention); with
+    ``reflectors_from_tail`` the reflectors come from the far end of the
+    shuffle instead of right after the agents (E12b).  The two styles
+    consume the RNG differently and are *not* interchangeable for pinned
+    outputs.
+    """
+    stubs = list(topology.stub_ases)
+    if style == "pick-victim":
+        victim_asn = int(stubs[int(rng.integers(0, len(stubs)))])
+        others = [a for a in stubs if a != victim_asn]
+        rng.shuffle(others)
+        agents = others[:n_agents]
+        reflectors = others[n_agents:n_agents + n_reflectors]
+        spare = others[n_agents + n_reflectors:]
+    elif style == "shuffle":
+        rng.shuffle(stubs)
+        victim_asn = stubs[0]
+        agents = stubs[1:1 + n_agents]
+        if reflectors_from_tail:
+            reflectors = stubs[-n_reflectors:]
+            spare = stubs[1 + n_agents:-n_reflectors]
+        else:
+            reflectors = stubs[1 + n_agents:1 + n_agents + n_reflectors]
+            spare = stubs[1 + n_agents + n_reflectors:]
+    else:
+        raise ValueError(f"unknown placement style {style!r}")
+    return ReflectorRoles(victim_asn=int(victim_asn),
+                          agent_asns=tuple(int(a) for a in agents),
+                          reflector_asns=tuple(int(a) for a in reflectors),
+                          spare_asns=tuple(int(a) for a in spare))
+
+
+def reflector_fanout(fluid: "FluidNetwork", roles: ReflectorRoles, *,
+                     rate_per_agent: float,
+                     amplification: float) -> ReflectorFluidModel:
+    """The agents x reflectors fan-out as a two-pass fluid model."""
+    return ReflectorFluidModel(
+        fluid, roles.victim_asn, list(roles.agent_asns),
+        list(roles.reflector_asns), rate_per_agent=rate_per_agent,
+        amplification=amplification)
+
+
+def teardown_setup(net: "Network", *, n_peers: int = 4
+                   ) -> tuple["Host", list["Host"], "Host", ConnectionPool]:
+    """E8's protocol-misuse world: victim + established peers + attacker.
+
+    Victim at the first stub, peers at the next ``n_peers`` stubs, the
+    attacker right after them; every peer holds one established
+    connection to the victim.  Returns (victim, peers, attacker, pool).
+    """
+    stubs = net.topology.stub_ases
+    victim = net.add_host(stubs[0])
+    peers = [net.add_host(a) for a in stubs[1:1 + n_peers]]
+    attacker = net.add_host(stubs[1 + n_peers])
+    pool = ConnectionPool(victim)
+    for peer in peers:
+        pool.establish(peer)
+    return victim, peers, attacker, pool
+
+
+def launch_teardown(net: "Network", attacker: "Host", pool: ConnectionPool,
+                    *, rate_pps: float, duration: float = 0.5,
+                    mode: str = "rst", seed: int = 0) -> ProtocolMisuseAttack:
+    """Forge teardown packets against the pool's connections."""
+    attack = ProtocolMisuseAttack(net, attacker, pool, rate_pps=rate_pps,
+                                  duration=duration, mode=mode, seed=seed)
+    attack.launch()
+    return attack

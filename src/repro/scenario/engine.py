@@ -1,0 +1,113 @@
+"""Backend-agnostic execution: one ``run(spec) -> MetricSet`` call.
+
+Two engines implement the :class:`Engine` protocol:
+
+* :class:`PacketEngine` — builds the spec's world on the discrete-event
+  :class:`~repro.net.simulator.Simulator`, launches attack + legitimate
+  traffic (routing cooperative clients through the defense's wrapper),
+  runs to the spec's horizon, then lets the defense finalize before the
+  shared :class:`~repro.scenario.metrics.MetricSink` reads the routers.
+* :class:`FluidEngine` — builds the *same* world (identical role
+  placement: the packet scenario object is the single source of truth for
+  who sits where), then evaluates its flow-level projection on a
+  :class:`~repro.net.fluid.FluidNetwork` with the defense's fluid filters.
+  Only defenses with a fluid equivalent run here; the rest raise
+  :class:`~repro.scenario.spec.SpecError` naming the supported set.
+
+The two engines agree on role placement and report the same
+:class:`MetricSet` schema, so ``attack_survival`` / ``legit_goodput`` /
+``collateral`` are directly comparable across backends — the basis of the
+packet-vs-fluid comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol as TypingProtocol, runtime_checkable
+
+from repro.net.fluid import FluidNetwork
+from repro.scenario import defenses
+from repro.scenario.build import BuiltScenario, build
+from repro.scenario.metrics import MetricSet, MetricSink
+from repro.scenario.spec import ScenarioSpec, SpecError
+
+__all__ = ["Engine", "PacketEngine", "FluidEngine", "ENGINES",
+           "run_scenario"]
+
+
+@runtime_checkable
+class Engine(TypingProtocol):
+    """Anything that can execute a ScenarioSpec end to end."""
+
+    name: str
+
+    def run(self, spec: ScenarioSpec) -> MetricSet:  # pragma: no cover
+        ...
+
+
+class PacketEngine:
+    """Discrete-event packet-level execution."""
+
+    name = "packet"
+
+    def run(self, spec: ScenarioSpec) -> MetricSet:
+        return self.run_built(build(spec))
+
+    def run_built(self, built: BuiltScenario) -> MetricSet:
+        """Run an already-built world (for callers that need the live
+        objects afterwards, e.g. experiments reading extra counters)."""
+        sc = built.scenario
+        handle = built.defense
+        sc.launch(legit=handle.legit_wrapper is None)
+        if handle.legit_wrapper is not None:
+            sc.launch_legit(handle.legit_wrapper)
+        metrics = sc.run(settle=built.spec.settle)
+        handle.finish()
+        return MetricSink.from_packet(built, metrics)
+
+
+class FluidEngine:
+    """Flow-level execution on the fluid model.
+
+    ``congestion`` mirrors :meth:`FluidNetwork.evaluate`; the default True
+    matches the packet engine's finite link capacities.
+    """
+
+    name = "fluid"
+
+    def __init__(self, congestion: bool = True) -> None:
+        self.congestion = congestion
+
+    def run(self, spec: ScenarioSpec) -> MetricSet:
+        if spec.faults is not None and not spec.faults.empty:
+            raise SpecError("the fluid engine cannot inject faults; "
+                            "run fault scenarios on the packet engine")
+        built = build(spec)
+        fluid = FluidNetwork(built.topology)
+        filters = defenses.fluid_filters(built, spec.defense, fluid)
+        sc = built.scenario
+        if spec.attack.kind == "reflector":
+            model = sc.fluid_reflector(fluid)
+            req, res = model.evaluate(filters=filters,
+                                      extra_flows=sc.legit_flows(),
+                                      congestion=self.congestion)
+            return MetricSink.from_fluid_reflector(built, req, res)
+        result = fluid.evaluate(sc.as_flows(), filters=filters,
+                                congestion=self.congestion)
+        return MetricSink.from_fluid_direct(built, result)
+
+
+ENGINES: dict[str, type] = {
+    PacketEngine.name: PacketEngine,
+    FluidEngine.name: FluidEngine,
+}
+
+
+def run_scenario(spec: ScenarioSpec, engine: str = "packet") -> MetricSet:
+    """One-call entry point: run ``spec`` on the named engine."""
+    try:
+        engine_cls = ENGINES[engine]
+    except KeyError:
+        raise SpecError(
+            f"unknown engine {engine!r}; known: {tuple(sorted(ENGINES))}"
+        ) from None
+    return engine_cls().run(spec)

@@ -1,0 +1,93 @@
+"""Shared TCS control-plane wiring for scenarios.
+
+Eight experiments used to open with the same boilerplate: create the
+number authority, the TCSP, contract one or more ISPs, record the owner's
+address allocation, register the owner, and (sometimes) build a
+:class:`~repro.core.service.TrafficControlService` — the paper's Sec. 4.1
+bootstrap sequence.  :func:`build_tcs_world` is that sequence, once.
+
+ISP contracting matches the two historical shapes exactly: a single NMS
+named ``"isp"`` covering every AS (``n_isps=1``), or ``n_isps`` NMSes
+named ``"isp-0" .. "isp-{n-1}"`` over contiguous chunks of the AS list
+with the remainder on the last one (the E7/E16 shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.core import (
+    NumberAuthority,
+    Tcsp,
+    TrafficControlService,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.nms import IspNms
+    from repro.net.network import Network
+
+__all__ = ["TcsWorld", "build_tcs_world"]
+
+
+@dataclass
+class TcsWorld:
+    """The control-plane objects one bootstrap produces."""
+
+    net: "Network"
+    authority: NumberAuthority
+    tcsp: Tcsp
+    nmses: list = field(default_factory=list)
+    owner: str = "acme"
+    owner_asn: int = 0
+    prefix: object = None
+    user: object = None
+    cert: object = None
+    service: Optional[TrafficControlService] = None
+
+    @property
+    def nms(self) -> "IspNms":
+        """The (first) contracted NMS — the whole Internet when n_isps=1."""
+        return self.nmses[0]
+
+
+def build_tcs_world(net: "Network", *, owner: str = "acme",
+                    owner_asn: Optional[int] = None, n_isps: int = 1,
+                    allocate: bool = True, register: bool = True,
+                    service: bool = False,
+                    home_nms_index: Optional[int] = None) -> TcsWorld:
+    """Bootstrap the TCS control plane over an existing network.
+
+    ``owner_asn`` defaults to the first stub AS (the usual victim);
+    ``allocate`` records the owner's prefix with the number authority;
+    ``register`` additionally creates the owner's user + certificate;
+    ``service`` additionally builds the TrafficControlService (homed on
+    ``nmses[home_nms_index]`` when given, else un-homed).
+    """
+    authority = NumberAuthority()
+    tcsp = Tcsp("TCSP", authority, net)
+    ases = net.topology.as_numbers
+    if n_isps <= 1:
+        nmses = [tcsp.contract_isp("isp", ases)]
+    else:
+        chunk = max(1, len(ases) // n_isps)
+        nmses = []
+        for i in range(n_isps):
+            part = (ases[i * chunk:] if i == n_isps - 1
+                    else ases[i * chunk:(i + 1) * chunk])
+            nmses.append(tcsp.contract_isp(f"isp-{i}", part))
+    if owner_asn is None:
+        owner_asn = net.topology.stub_ases[0]
+    prefix = net.topology.prefix_of(owner_asn)
+    if allocate:
+        authority.record_allocation(prefix, owner)
+    world = TcsWorld(net=net, authority=authority, tcsp=tcsp, nmses=nmses,
+                     owner=owner, owner_asn=int(owner_asn), prefix=prefix)
+    if allocate and register:
+        world.user, world.cert = tcsp.register_user(owner, [prefix])
+        if service:
+            home = (nmses[home_nms_index]
+                    if home_nms_index is not None else None)
+            world.service = TrafficControlService(tcsp, world.user,
+                                                  world.cert, home_nms=home)
+    return world

@@ -1,6 +1,5 @@
 """Tests for the Sec. 4.3 anti-spoofing application."""
 
-import pytest
 
 from repro.attack import AttackScenario, ScenarioConfig
 from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService

@@ -1,6 +1,5 @@
 """Tests for the reactive signature-based defender."""
 
-import pytest
 
 from repro.attack import DirectFlood, ReflectorAttack
 from repro.core import NumberAuthority, Tcsp, TrafficControlService

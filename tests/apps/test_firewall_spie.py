@@ -1,6 +1,5 @@
 """Tests for the distributed firewall and TCS-based SPIE traceback apps."""
 
-import pytest
 
 from repro.attack import (
     AttackScenario,
@@ -10,7 +9,7 @@ from repro.attack import (
 )
 from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
 from repro.core.apps import DistributedFirewallApp, FirewallRule, SpieTracebackApp
-from repro.net import Network, Packet, Protocol, TopologyBuilder
+from repro.net import Network, Packet, TopologyBuilder
 
 
 def service_for_victim(net, victim_asn, user_id="victim-co"):

@@ -1,10 +1,8 @@
 """Tests for the automated-reaction and network-debugging apps."""
 
-import math
 
-import pytest
 
-from repro.attack import AttackScenario, DirectFlood, ScenarioConfig
+from repro.attack import DirectFlood
 from repro.core import DeploymentScope, NumberAuthority, Tcsp, TrafficControlService
 from repro.core.apps import AutoReactionApp, NetworkDebuggingApp
 from repro.net import LinkParams, Network, Packet, TopologyBuilder

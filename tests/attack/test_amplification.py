@@ -1,9 +1,8 @@
 """Unit tests for the amplification metrics module."""
 
-import pytest
 
 from repro.attack import AmplifyingNetwork, measure_amplification
-from repro.net import Network, Packet, TopologyBuilder
+from repro.net import Network, TopologyBuilder
 
 
 def setup_world():

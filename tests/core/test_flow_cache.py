@@ -6,7 +6,6 @@ cache always match an uncached reference device, including across
 invalidations, plus unit tests for the counters and LRU bounds.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

@@ -1,6 +1,5 @@
 """Tests for the in-band (packet-level) control plane."""
 
-import pytest
 
 from repro.attack import DirectFlood
 from repro.core import NumberAuthority, Tcsp

@@ -2,17 +2,11 @@
 
 import pytest
 
-from repro.core import (
-    CertificateAuthority,
-    ComponentGraph,
-    NetworkUser,
-    NumberAuthority,
-    Tcsp,
-)
+from repro.core import ComponentGraph, NumberAuthority, Tcsp
 from repro.core.components import LoggerComponent
 from repro.core.nms import IspNms
 from repro.errors import CertificateError, DeploymentError
-from repro.net import Network, Packet, TopologyBuilder
+from repro.net import Network, TopologyBuilder
 
 
 def world(seed=26):

@@ -3,7 +3,6 @@ anti-entropy re-install, fail-open/fail-closed policies, and control-plane
 failover under injected faults (DESIGN.md: failure model & recovery).
 """
 
-import pytest
 
 from repro.core import (
     ComponentGraph,

@@ -1,6 +1,5 @@
 """Tests for stateful teardown filtering and timing-anomaly detection."""
 
-import pytest
 
 from repro.core import NetworkUser, StatefulTeardownFilter, TimingAnomalyFilter
 from repro.core.components import ComponentContext, Verdict

@@ -1,8 +1,7 @@
 """End-to-end integration tests: full stacks wired together."""
 
-import pytest
 
-from repro.attack import AttackScenario, ReflectorAttack, ScenarioConfig
+from repro.attack import AttackScenario, ScenarioConfig
 from repro.core import (
     DeploymentScope,
     NumberAuthority,

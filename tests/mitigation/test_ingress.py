@@ -1,6 +1,5 @@
 """Tests for ingress filtering and route-based packet filtering."""
 
-import pytest
 
 from repro.attack import DirectFlood
 from repro.mitigation import IngressFiltering, RouteBasedFiltering

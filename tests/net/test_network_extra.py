@@ -1,6 +1,5 @@
 """Additional Network construction and accounting tests."""
 
-import pytest
 
 from repro.net import LinkParams, Network, Packet, TopologyBuilder
 from repro.util.units import Mbps, ms

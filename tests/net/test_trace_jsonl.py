@@ -1,6 +1,5 @@
 """Tests for trace persistence and merging."""
 
-import pytest
 
 from repro.net import Network, Packet, TopologyBuilder, TraceRecorder
 

@@ -1,0 +1,144 @@
+"""Regression pins: the deduplicated attack builders must reproduce the
+historical per-experiment inline code draw-for-draw.
+
+Each legacy function below is a verbatim copy of the builder an experiment
+used to carry privately (E3's spoofed flood, E4's pick-victim placement,
+E12/E12b's shuffle placements).  The shared :mod:`repro.scenario.attacks`
+versions must match them on identical topology + rng state.
+"""
+
+from repro.net import Flow, FlowSet
+from repro.scenario import TopologySpec
+from repro.scenario.attacks import (
+    reflector_roles,
+    spoofed_flood_flows,
+    teardown_setup,
+)
+from repro.util.rng import derive_rng
+
+
+def legacy_spoofed_flood_flows(topology, victim_asn, n_agents, rng):
+    """E3's inline builder, pre-refactor (verbatim copy)."""
+    stubs = [a for a in topology.stub_ases if a != victim_asn]
+    all_ases = topology.as_numbers
+    flows = FlowSet()
+    for i in range(n_agents):
+        agent = int(stubs[int(rng.integers(0, len(stubs)))])
+        claimed = agent
+        while claimed == agent:
+            claimed = int(all_ases[int(rng.integers(0, len(all_ases)))])
+        flows.add(Flow(agent, victim_asn, 1e6, kind="attack",
+                       claimed_src_asn=claimed, tag=f"agent{i}"))
+    return flows
+
+
+def legacy_pick_victim_roles(topology, rng, n_agents, n_reflectors):
+    """E4's inline placement, pre-refactor (verbatim copy)."""
+    stubs = list(topology.stub_ases)
+    victim_asn = int(stubs[int(rng.integers(0, len(stubs)))])
+    others = [a for a in stubs if a != victim_asn]
+    rng.shuffle(others)
+    agents = others[:n_agents]
+    reflectors = others[n_agents:n_agents + n_reflectors]
+    spares = others[n_agents + n_reflectors:]
+    return victim_asn, agents, reflectors, spares
+
+
+def legacy_shuffle_roles(topology, rng, n_agents, n_reflectors):
+    """E12's inline placement, pre-refactor (verbatim copy)."""
+    stubs = list(topology.stub_ases)
+    rng.shuffle(stubs)
+    victim_asn = stubs[0]
+    agents = stubs[1:1 + n_agents]
+    reflectors = stubs[1 + n_agents:1 + n_agents + n_reflectors]
+    return victim_asn, agents, reflectors
+
+
+def legacy_shuffle_tail_roles(topology, rng, n_agents, n_reflectors):
+    """E12b's inline placement, pre-refactor (verbatim copy)."""
+    stubs = list(topology.stub_ases)
+    rng.shuffle(stubs)
+    victim_asn = stubs[0]
+    agents = stubs[1:1 + n_agents]
+    reflectors = stubs[-n_reflectors:]
+    return victim_asn, agents, reflectors
+
+
+TOPO = TopologySpec(kind="powerlaw", n=120, m=2).build(42)
+
+
+class TestSpoofedFloodFlows:
+    def test_pins_the_e3_inline_builder(self):
+        victim = int(TOPO.stub_ases[3])
+        new = spoofed_flood_flows(TOPO, victim, 50,
+                                  derive_rng(42, "pin", 0))
+        old = legacy_spoofed_flood_flows(TOPO, victim, 50,
+                                         derive_rng(42, "pin", 0))
+        assert [(f.src_asn, f.dst_asn, f.claimed_src_asn, f.tag)
+                for f in new] == \
+               [(f.src_asn, f.dst_asn, f.claimed_src_asn, f.tag)
+                for f in old]
+
+
+class TestReflectorRoles:
+    def test_pick_victim_pins_the_e4_inline_placement(self):
+        roles = reflector_roles(TOPO, derive_rng(42, "e4", 1), 20, 10,
+                                style="pick-victim")
+        victim, agents, reflectors, spares = legacy_pick_victim_roles(
+            TOPO, derive_rng(42, "e4", 1), 20, 10)
+        assert roles.victim_asn == victim
+        assert list(roles.agent_asns) == [int(a) for a in agents]
+        assert list(roles.reflector_asns) == [int(a) for a in reflectors]
+        assert list(roles.spare_asns) == [int(a) for a in spares]
+
+    def test_shuffle_pins_the_e12_inline_placement(self):
+        roles = reflector_roles(TOPO, derive_rng(42, "e12"), 20, 10,
+                                style="shuffle")
+        victim, agents, reflectors = legacy_shuffle_roles(
+            TOPO, derive_rng(42, "e12"), 20, 10)
+        assert roles.victim_asn == victim
+        assert list(roles.agent_asns) == [int(a) for a in agents]
+        assert list(roles.reflector_asns) == [int(a) for a in reflectors]
+
+    def test_shuffle_tail_pins_the_e12b_inline_placement(self):
+        roles = reflector_roles(TOPO, derive_rng(42, "e12b"), 20, 10,
+                                style="shuffle", reflectors_from_tail=True)
+        victim, agents, reflectors = legacy_shuffle_tail_roles(
+            TOPO, derive_rng(42, "e12b"), 20, 10)
+        assert roles.victim_asn == victim
+        assert list(roles.agent_asns) == [int(a) for a in agents]
+        assert list(roles.reflector_asns) == [int(a) for a in reflectors]
+
+    def test_styles_are_not_interchangeable(self):
+        a = reflector_roles(TOPO, derive_rng(42, "x"), 20, 10,
+                            style="pick-victim")
+        b = reflector_roles(TOPO, derive_rng(42, "x"), 20, 10,
+                            style="shuffle")
+        assert (a.victim_asn, a.agent_asns) != (b.victim_asn, b.agent_asns)
+
+    def test_unknown_style_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            reflector_roles(TOPO, derive_rng(42, "x"), 2, 2, style="cosmic")
+
+    def test_roles_are_disjoint(self):
+        roles = reflector_roles(TOPO, derive_rng(42, "x"), 20, 10)
+        groups = ({roles.victim_asn}, set(roles.agent_asns),
+                  set(roles.reflector_asns), set(roles.spare_asns))
+        assert sum(len(g) for g in groups) == len(set().union(*groups))
+
+
+class TestTeardownSetup:
+    def test_e8_shape(self):
+        from repro.net import Network
+
+        net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                                   transit_per_core=2,
+                                   stub_per_transit=5).build(42))
+        victim, peers, attacker, pool = teardown_setup(net, n_peers=4)
+        stubs = net.topology.stub_ases
+        assert victim.asn == stubs[0]
+        assert [p.asn for p in peers] == list(stubs[1:5])
+        assert attacker.asn == stubs[5]
+        assert pool.alive_count == 4

@@ -1,0 +1,80 @@
+"""Engine behavior: the backend-agnostic run path and its guard rails."""
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.e2_mitigation_matrix import run_cell
+from repro.scenario import (
+    Engine,
+    FluidEngine,
+    MetricSet,
+    PacketEngine,
+    SpecError,
+    preset,
+    run_scenario,
+)
+
+
+class TestPacketEngine:
+    def test_satisfies_the_engine_protocol(self):
+        assert isinstance(PacketEngine(), Engine)
+        assert isinstance(FluidEngine(), Engine)
+
+    def test_returns_a_labelled_metric_set(self):
+        spec = preset("spoofed-flood-ingress")
+        m = PacketEngine().run(spec)
+        assert isinstance(m, MetricSet)
+        assert m.engine == "packet"
+        assert m.scenario == spec.name
+        assert m.seed == spec.seed
+        assert m.attack_survival == 0.0
+
+    def test_preset_matches_the_e2_matrix_cell(self):
+        """The reflector-tcs preset mirrors E2's (reflector, tcs) cell —
+        running it through the engine must reproduce run_cell exactly."""
+        m = run_scenario(preset("reflector-tcs"))
+        cell = run_cell("reflector", "tcs", ExperimentConfig())
+        assert int(m.attack_delivered) == cell.attack_pkts
+        assert m.legit_goodput == cell.legit_goodput
+        assert m.collateral == cell.collateral
+        assert m.notes == cell.notes
+
+
+class TestFluidEngine:
+    def test_reflector_path(self):
+        m = FluidEngine().run(preset("reflector-baseline"))
+        assert m.engine == "fluid"
+        assert m.attack_sent > 0
+        assert 0.0 <= m.attack_survival <= 1.0
+
+    def test_direct_path_with_ingress_kills_spoofed_flood(self):
+        m = FluidEngine().run(preset("spoofed-flood-ingress"))
+        assert m.attack_survival == 0.0
+        assert m.collateral == 0.0
+
+    def test_agrees_with_packet_engine_on_filtering_defenses(self):
+        """The documented cross-backend comparison: full-coverage filtering
+        yields zero attack survival on both engines."""
+        for name in ("spoofed-flood-ingress", "reflector-tcs"):
+            spec = preset(name)
+            assert PacketEngine().run(spec).attack_survival == 0.0
+            assert FluidEngine().run(spec).attack_survival == 0.0
+
+    def test_rejects_fault_specs(self):
+        with pytest.raises(SpecError, match="fault"):
+            FluidEngine().run(preset("reflector-under-faults"))
+
+    def test_rejects_packet_only_defenses(self):
+        with pytest.raises(SpecError, match="fluid"):
+            FluidEngine().run(preset("botnet-flood-pushback"))
+
+
+class TestRunScenario:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SpecError, match="engine"):
+            run_scenario(preset("spoofed-flood"), engine="abacus")
+
+    def test_dispatches_by_name(self):
+        spec = preset("spoofed-flood-ingress")
+        assert run_scenario(spec, engine="packet").engine == "packet"
+        assert run_scenario(spec, engine="fluid").engine == "fluid"

@@ -1,0 +1,123 @@
+"""ScenarioSpec value-object behavior: validation, derivation, JSON."""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario import (
+    AttackSpec,
+    DefenseSpec,
+    FaultSpec,
+    PRESETS,
+    ScenarioSpec,
+    SpecError,
+    TopologySpec,
+    preset,
+    preset_names,
+)
+
+
+class TestTopologySpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            TopologySpec(kind="donut")
+
+    def test_seed_offset_changes_the_graph(self):
+        spec = TopologySpec(kind="powerlaw", n=60)
+        base = spec.build(42)
+        offset = dataclasses.replace(spec, seed_offset=1).build(42)
+        assert set(base.graph.edges()) != set(offset.graph.edges())
+
+    def test_offset_equals_shifted_base_seed(self):
+        spec = TopologySpec(kind="powerlaw", n=60, seed_offset=7)
+        assert (set(spec.build(42).graph.edges())
+                == set(TopologySpec(kind="powerlaw", n=60).build(49)
+                       .graph.edges()))
+
+    @pytest.mark.parametrize("kind", ["hierarchical", "powerlaw", "internet",
+                                      "line", "star", "tree"])
+    def test_every_kind_builds(self, kind):
+        topo = TopologySpec(kind=kind, n=20).build(42)
+        assert len(topo) > 0
+
+
+class TestAttackSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            AttackSpec(kind="quantum")
+
+    def test_to_config_applies_seed_offset(self):
+        cfg = AttackSpec(kind="reflector", seed_offset=3).to_config(42)
+        assert cfg.seed == 45
+        assert cfg.attack_kind == "reflector"
+
+    def test_scaled_scales_populations(self):
+        spec = AttackSpec(n_agents=8, n_reflectors=6).scaled(0.5)
+        assert spec.n_agents == 4
+        assert spec.n_reflectors == 3
+        assert AttackSpec(n_agents=2).scaled(0.01).n_agents == 1
+
+
+class TestDefenseSpec:
+    def test_of_sorts_params(self):
+        a = DefenseSpec.of("rbf", fraction=0.3, seedy=1)
+        b = DefenseSpec.of("rbf", seedy=1, fraction=0.3)
+        assert a == b
+        assert a.get("fraction") == 0.3
+        assert a.get("missing", "x") == "x"
+        assert a.as_dict() == {"fraction": 0.3, "seedy": 1}
+
+    def test_spec_is_hashable(self):
+        assert hash(DefenseSpec.of("tcs")) == hash(DefenseSpec.of("tcs"))
+
+
+class TestFaultSpec:
+    def test_empty(self):
+        assert FaultSpec().empty
+        assert not FaultSpec(n_crashes=1).empty
+
+    def test_plan_is_seed_deterministic(self):
+        spec = FaultSpec(n_crashes=3, n_flaps=1)
+        kw = dict(horizon=2.0, device_asns=[4, 5, 6],
+                  links=[(0, 1), (1, 2)])
+        assert (spec.plan(42, **kw).faults == spec.plan(42, **kw).faults)
+        assert (spec.plan(42, **kw).faults != spec.plan(43, **kw).faults)
+
+
+class TestScenarioSpec:
+    def test_horizon(self):
+        spec = ScenarioSpec(attack=AttackSpec(attack_start=0.1, duration=0.6),
+                            settle=0.5)
+        assert spec.horizon == pytest.approx(1.2)
+
+    def test_with_seed_and_defense(self):
+        spec = ScenarioSpec(seed=1)
+        assert spec.with_seed(9).seed == 9
+        assert spec.with_defense(DefenseSpec.of("tcs")).defense.name == "tcs"
+
+    def test_scaled_identity_at_one(self):
+        spec = ScenarioSpec()
+        assert spec.scaled(1.0) is spec
+
+    def test_json_round_trip(self):
+        for name in preset_names():
+            spec = preset(name)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_json("not json {")
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_json("[1, 2]")
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_json('{"nonsense_field": 1}')
+
+    def test_unknown_preset(self):
+        with pytest.raises(SpecError):
+            preset("does-not-exist")
+
+    def test_presets_are_built(self):
+        assert len(PRESETS) >= 6
+        for spec in PRESETS.values():
+            built = spec.build()
+            assert built.victim_asn in built.topology.as_numbers

@@ -68,3 +68,46 @@ class TestExperimentsForwarding:
         assert main(["experiments", "E5", "--scale", "0.2", "--markdown"]) == 0
         out = capsys.readouterr().out
         assert "| attempt |" in out
+
+    def test_workers_flag_forwards_to_parallel_runner(self, capsys):
+        assert main(["experiments", "E5", "--scale", "0.2", "-j", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "E5: misuse attempts" in out
+
+
+class TestScenarioCommand:
+    def test_list_prints_the_presets(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "reflector-tcs" in out
+        assert "spoofed-flood-ingress" in out
+        assert "defense=tcs" in out
+
+    def test_run_preset_on_packet_engine(self, capsys):
+        assert main(["scenario", "run", "--spec", "spoofed-flood-ingress",
+                     "--engine", "packet"]) == 0
+        out = capsys.readouterr().out
+        assert "packet engine" in out
+        assert "attack_survival" in out
+
+    def test_run_spec_file(self, capsys, tmp_path):
+        from repro.scenario import preset
+
+        path = tmp_path / "spec.json"
+        path.write_text(preset("spoofed-flood-ingress").to_json())
+        assert main(["scenario", "run", "--spec", str(path)]) == 0
+        assert "attack_survival" in capsys.readouterr().out
+
+    def test_seed_override(self, capsys):
+        assert main(["scenario", "run", "--spec", "spoofed-flood-ingress",
+                     "--seed", "7"]) == 0
+        assert "seed=7" in capsys.readouterr().out
+
+    def test_unknown_spec_fails_cleanly(self, capsys):
+        assert main(["scenario", "run", "--spec", "no-such-spec"]) == 2
+        assert "neither a preset" in capsys.readouterr().err
+
+    def test_fluid_engine_rejects_packet_only_spec(self, capsys):
+        assert main(["scenario", "run", "--spec", "reflector-under-faults",
+                     "--engine", "fluid"]) == 1
+        assert "cannot run" in capsys.readouterr().err
