@@ -8,12 +8,16 @@ Usage::
     python -m repro scenario list
     python -m repro scenario run --spec reflector-tcs --engine both
     python -m repro experiments E2 E4 --scale 0.5 -j 4
+    python -m repro obs --json
 
-``--seed``, ``--scale`` and ``--workers/-j`` are threaded uniformly
-through every subcommand.  The ``experiments`` subcommand forwards to
-:mod:`repro.experiments`; ``scenario`` runs declarative
-:class:`~repro.scenario.ScenarioSpec` presets or JSON spec files on the
-packet and/or fluid engine.
+``--seed``, ``--scale``, ``--workers/-j`` and ``--metrics-out`` are
+threaded uniformly through every subcommand.  The ``experiments``
+subcommand forwards to :mod:`repro.experiments`; ``scenario`` runs
+declarative :class:`~repro.scenario.ScenarioSpec` presets or JSON spec
+files on the packet and/or fluid engine; ``obs`` dumps the telemetry
+schema (every metric the codebase can emit).  ``--metrics-out FILE``
+wraps the command in a fresh :mod:`repro.obs` registry scope and writes
+everything it recorded as JSONL when the command finishes.
 """
 
 from __future__ import annotations
@@ -23,6 +27,18 @@ import sys
 from typing import Optional, Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 TOPOLOGY_KINDS = ("hierarchical", "powerlaw", "internet", "line", "star")
 DEFENSES = ("none", "ingress", "rbf", "pushback", "traceback-filter",
@@ -168,12 +184,34 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Print every metric the codebase can emit (name, kind, labels)."""
+    import json as _json
+
+    from repro.obs import full_catalog
+
+    catalog = full_catalog()
+    if args.json:
+        print(_json.dumps(
+            [{"name": d.name, "kind": d.kind, "labels": list(d.labelnames),
+              "help": d.help} for d in catalog.values()],
+            indent=2))
+        return 0
+    print(f"{'metric':<34} {'kind':<10} {'labels':<18} help")
+    for decl in catalog.values():
+        labels = ",".join(decl.labelnames) or "-"
+        print(f"{decl.name:<34} {decl.kind:<10} {labels:<18} {decl.help}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Adaptive Distributed Traffic Control Service — "
                     "reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {_version()}")
     def common(seed_default: Optional[int] = 42) -> argparse.ArgumentParser:
         """A fresh --seed/--scale/--workers parent (argparse shares action
         objects between parsers, so each subcommand needs its own copy)."""
@@ -183,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="size multiplier for workload knobs")
         p.add_argument("--workers", "-j", type=int, default=1, metavar="N",
                        help="worker processes for parallelisable sweeps")
+        p.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="export the run's in-process repro.obs registry "
+                            "as JSONL to FILE on exit (worker-process "
+                            "registries stay in their workers)")
         return p
 
     sub = parser.add_subparsers(dest="command", required=True)
@@ -236,13 +278,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--markdown", action="store_true")
     p_exp.set_defaults(fn=cmd_experiments)
 
+    p_obs = sub.add_parser("obs",
+                           help="dump the telemetry schema (repro.obs)")
+    p_obs.add_argument("--json", action="store_true",
+                       help="machine-readable JSON instead of a table")
+    p_obs.set_defaults(fn=cmd_obs)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is None:
+        return args.fn(args)
+    from pathlib import Path
+
+    from repro.obs import scoped
+
+    with scoped() as registry:
+        status = args.fn(args)
+    Path(metrics_out).write_text(registry.to_jsonl())
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

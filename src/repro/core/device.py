@@ -35,6 +35,7 @@ from repro.core.safety import SafetyMonitor, vet_graph
 from repro.net.addressing import Prefix
 from repro.net.packet import Packet
 from repro.net.topology import ASRole
+from repro.obs.metrics import declare, reset_metrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
@@ -44,6 +45,21 @@ __all__ = ["DeviceContext", "ServiceInstance", "AdaptiveDevice",
 
 #: Default per-device LRU flow-cache capacity (distinct 4-tuples).
 FLOW_CACHE_CAPACITY = 4096
+
+_REDIRECTED = declare("device.redirected", "counter", labels=("asn",),
+                      help="packets redirected into the device's stages")
+_DROPPED = declare("device.dropped", "counter", labels=("asn",),
+                   help="packets dropped by a processing stage (or fail-closed)")
+_SAFETY_DISABLES = declare("device.safety_disables", "counter", labels=("asn",),
+                           help="services disabled for safety violations")
+_CRASHES = declare("device.crashes", "counter", labels=("asn",),
+                   help="injected device crashes")
+_RESTARTS = declare("device.restarts", "counter", labels=("asn",),
+                    help="post-crash restarts (wiped, Sec. 4.5)")
+_FC_HITS = declare("device.flow_cache_hits", "counter", labels=("asn",),
+                   help="redirect decisions served from the flow cache")
+_FC_MISSES = declare("device.flow_cache_misses", "counter", labels=("asn",),
+                     help="redirect decisions resolved via the slow path")
 
 
 @dataclass(frozen=True)
@@ -103,9 +119,16 @@ class AdaptiveDevice:
         #: exists only for the E13 ablation.
         self.stage_order = stage_order
         self.services: dict[str, ServiceInstance] = {}
-        self.redirected = 0
-        self.dropped = 0
-        self.safety_disables = 0
+        # registry-backed counters, labelled by this device's AS number;
+        # the legacy attributes below are property views over these
+        asn = str(context.asn)
+        self._m_redirected = _REDIRECTED.labelled(asn=asn)
+        self._m_dropped = _DROPPED.labelled(asn=asn)
+        self._m_safety_disables = _SAFETY_DISABLES.labelled(asn=asn)
+        self._m_crashes = _CRASHES.labelled(asn=asn)
+        self._m_restarts = _RESTARTS.labelled(asn=asn)
+        self._m_fc_hits = _FC_HITS.labelled(asn=asn)
+        self._m_fc_misses = _FC_MISSES.labelled(asn=asn)
         #: crash/restart lifecycle (fault injection): a crashed device holds
         #: no usable configuration.  ``fail_policy`` picks the Sec. 4.5
         #: stance while down: "fail-open" lets owned traffic take the
@@ -113,16 +136,78 @@ class AdaptiveDevice:
         #: traffic until the NMS re-installs services after restart.
         self.crashed = False
         self.fail_policy = "fail-open"
-        self.crashes = 0
-        self.restarts = 0
         #: router-style per-flow fast path: 4-tuple -> (src_owner,
         #: dst_owner, redirect?), so repeat packets of a flow skip both
         #: ownership LPM walks and the service-membership check.
         self._flow_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self._flow_cache_version = registry.version
         self.flow_cache_capacity = FLOW_CACHE_CAPACITY
-        self.flow_cache_hits = 0
-        self.flow_cache_misses = 0
+
+    # ------------------------------------------------------ legacy stat views
+    @property
+    def redirected(self) -> int:
+        return self._m_redirected.value
+
+    @redirected.setter
+    def redirected(self, value: int) -> None:
+        self._m_redirected.value = value
+
+    @property
+    def dropped(self) -> int:
+        return self._m_dropped.value
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        self._m_dropped.value = value
+
+    @property
+    def safety_disables(self) -> int:
+        return self._m_safety_disables.value
+
+    @safety_disables.setter
+    def safety_disables(self, value: int) -> None:
+        self._m_safety_disables.value = value
+
+    @property
+    def crashes(self) -> int:
+        return self._m_crashes.value
+
+    @crashes.setter
+    def crashes(self, value: int) -> None:
+        self._m_crashes.value = value
+
+    @property
+    def restarts(self) -> int:
+        return self._m_restarts.value
+
+    @restarts.setter
+    def restarts(self, value: int) -> None:
+        self._m_restarts.value = value
+
+    @property
+    def flow_cache_hits(self) -> int:
+        return self._m_fc_hits.value
+
+    @flow_cache_hits.setter
+    def flow_cache_hits(self, value: int) -> None:
+        self._m_fc_hits.value = value
+
+    @property
+    def flow_cache_misses(self) -> int:
+        return self._m_fc_misses.value
+
+    @flow_cache_misses.setter
+    def flow_cache_misses(self, value: int) -> None:
+        self._m_fc_misses.value = value
+
+    def reset_stats(self) -> None:
+        """Zero all counters (between experiment phases) — the mirror of
+        :meth:`repro.net.link.Link.reset_stats`, via the same registry
+        reset path.  Installed services, crash state and the flow cache's
+        *contents* are untouched; only the accounting is zeroed."""
+        reset_metrics((self._m_redirected, self._m_dropped,
+                       self._m_safety_disables, self._m_crashes,
+                       self._m_restarts, self._m_fc_hits, self._m_fc_misses))
 
     # -------------------------------------------------------------- management
     def install(self, user: NetworkUser, src_graph: Optional[ComponentGraph] = None,
@@ -173,7 +258,7 @@ class AdaptiveDevice:
         traffic is decided by ``fail_policy`` in :meth:`wants`.
         """
         self.crashed = True
-        self.crashes += 1
+        self._m_crashes.value += 1
         self.invalidate_flow_cache()
 
     def restart(self) -> None:
@@ -186,7 +271,7 @@ class AdaptiveDevice:
         """
         self.services.clear()
         self.crashed = False
-        self.restarts += 1
+        self._m_restarts.value += 1
         self.invalidate_flow_cache()
 
     # -------------------------------------------------------- routing updates
@@ -261,14 +346,14 @@ class AdaptiveDevice:
         key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
         entry = cache.get(key)
         if entry is not None:
-            self.flow_cache_hits += 1
+            self._m_fc_hits.value += 1
             cache.move_to_end(key)
             return entry
         return self._flow_miss(key, packet)
 
     def _flow_miss(self, key: tuple, packet: Packet) -> tuple:
         """Slow path: resolve owners via the registry and cache the result."""
-        self.flow_cache_misses += 1
+        self._m_fc_misses.value += 1
         src_owner, dst_owner = self.registry.owners_of_packet(packet)
         services = self.services
         src_inst = None if src_owner is None else services.get(src_owner.user_id)
@@ -306,7 +391,7 @@ class AdaptiveDevice:
         key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
         entry = self._flow_cache.get(key)
         if entry is not None:
-            self.flow_cache_hits += 1
+            self._m_fc_hits.value += 1
             self._flow_cache.move_to_end(key)
             return entry[2]
         return self._flow_miss(key, packet)[2]
@@ -317,9 +402,9 @@ class AdaptiveDevice:
         if self.crashed:
             # only reachable under "fail-closed": owned traffic is blocked
             # until the NMS reconciles the restarted device
-            self.dropped += 1
+            self._m_dropped.value += 1
             return None
-        self.redirected += 1
+        self._m_redirected.value += 1
         src_owner, dst_owner, _ = self._flow_lookup(packet)
         local_origin = ingress_asn is None
         stages = [(src_owner, "source"), (dst_owner, "dest")]
@@ -331,7 +416,7 @@ class AdaptiveDevice:
             packet_after = self._run_stage(packet, owner, stage, now,
                                            ingress_asn, local_origin)
             if packet_after is None:
-                self.dropped += 1
+                self._m_dropped.value += 1
                 return None
             packet = packet_after
         return packet
@@ -360,7 +445,7 @@ class AdaptiveDevice:
         except SafetyViolation:
             # Sec. 4.5: contain the misbehaving service immediately.
             instance.disabled_for_violation = True
-            self.safety_disables += 1
+            self._m_safety_disables.value += 1
             if self.strict:
                 raise
             # fail-safe containment: undo the forbidden mutations and let

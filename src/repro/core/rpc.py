@@ -32,9 +32,22 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import ControlPlaneUnavailable, RetryExhausted
+from repro.obs.metrics import declare, reset_metrics
 from repro.util.rng import derive_rng
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "ControlChannel", "RpcStats"]
+
+_RPC_FIELDS = ("calls", "delivered", "retries", "drops", "exhausted",
+               "rejected", "backoff_time")
+_RPC_DECLS = {
+    name: declare(f"rpc.{name}", "counter", labels=("channel",),
+                  help=f"per-channel {name.replace('_', ' ')}")
+    for name in _RPC_FIELDS
+}
+_BACKOFF_HIST = declare(
+    "rpc.backoff_s", "histogram", labels=("channel",),
+    help="distribution of accounted backoff delays per retry",
+    buckets=(0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0))
 
 
 @dataclass(frozen=True)
@@ -108,20 +121,43 @@ class CircuitBreaker:
         self.opened_at = None
 
 
-@dataclass
 class RpcStats:
-    """Per-channel counters (reported by E16)."""
+    """Per-channel counters (reported by E16), backed by the ambient
+    :mod:`repro.obs` registry under ``rpc.*{channel=...}``.
 
-    calls: int = 0
-    delivered: int = 0
-    retries: int = 0
-    drops: int = 0          #: attempts lost in transport (down or injected)
-    exhausted: int = 0      #: calls that ran out of attempts
-    rejected: int = 0       #: calls rejected by an open circuit breaker
-    backoff_time: float = 0.0  #: cumulative backoff delay accounted
+    Field semantics: ``calls``/``delivered``/``retries``; ``drops`` are
+    attempts lost in transport (down or injected); ``exhausted`` calls ran
+    out of attempts; ``rejected`` calls hit an open circuit breaker;
+    ``backoff_time`` is the cumulative backoff delay accounted.  The
+    attribute API is a thin property view over the registered counters.
+    """
+
+    FIELDS = _RPC_FIELDS
+    __slots__ = tuple(f"_m_{name}" for name in _RPC_FIELDS)
+
+    def __init__(self, channel: str = "-") -> None:
+        for name in _RPC_FIELDS:
+            setattr(self, f"_m_{name}", _RPC_DECLS[name].labelled(channel=channel))
 
     def snapshot(self) -> dict:
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in _RPC_FIELDS}
+
+    def reset(self) -> None:
+        reset_metrics(tuple(getattr(self, f"_m_{name}") for name in _RPC_FIELDS))
+
+
+def _rpc_stat_property(name: str) -> property:
+    def _get(self: RpcStats):
+        return getattr(self, f"_m_{name}").value
+
+    def _set(self: RpcStats, value) -> None:
+        getattr(self, f"_m_{name}").value = value
+
+    return property(_get, _set)
+
+
+for _name in _RPC_FIELDS:
+    setattr(RpcStats, _name, _rpc_stat_property(_name))
 
 
 class ControlChannel:
@@ -149,7 +185,8 @@ class ControlChannel:
         self.injector = injector
         self.breaker = breaker or CircuitBreaker(clock=clock)
         self.breaker.clock = clock
-        self.stats = RpcStats()
+        self.stats = RpcStats(channel=name)
+        self._backoff_hist = _BACKOFF_HIST.labelled(channel=name)
         self._rng = derive_rng(seed, "rpc", name)
         self._seed = seed
 
@@ -175,7 +212,9 @@ class ControlChannel:
         for attempt in range(policy.attempts):
             if attempt > 0:
                 self.stats.retries += 1
-                self.stats.backoff_time += policy.backoff(attempt - 1, self._rng)
+                delay = policy.backoff(attempt - 1, self._rng)
+                self.stats.backoff_time += delay
+                self._backoff_hist.observe(delay)
             if self._delivered(op):
                 result = fn(*args, **kwargs)
                 self.breaker.record_success()
@@ -200,7 +239,8 @@ class ControlChannel:
     def reset(self) -> None:
         """Forget transient state (breaker, counters, RNG stream position)."""
         self.breaker.reset()
-        self.stats = RpcStats()
+        self.stats.reset()
+        self._backoff_hist.reset()
         self._rng = derive_rng(self._seed, "rpc", self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -26,6 +26,7 @@ __all__ = [
     "ControlPlaneUnavailable",
     "RetryExhausted",
     "FaultConfigError",
+    "MetricError",
 ]
 
 
@@ -106,3 +107,8 @@ class RetryExhausted(ControlPlaneUnavailable):
 class FaultConfigError(ReproError):
     """A fault-injection plan was configured inconsistently
     (:mod:`repro.net.faults`)."""
+
+
+class MetricError(ReproError):
+    """Telemetry misuse: conflicting metric declaration, unknown kind, or
+    a label-cardinality budget exceeded (:mod:`repro.obs`)."""

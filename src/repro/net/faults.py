@@ -31,6 +31,7 @@ from enum import Enum
 from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import FaultConfigError, TopologyError
+from repro.obs.metrics import declare, reset_metrics
 from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,6 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
 
 __all__ = ["FaultKind", "Fault", "FaultPlan", "FaultInjector"]
+
+_INJECTED = declare("faults.injected", "counter",
+                    help="faults that actually struck their target")
+_CLEARED = declare("faults.cleared", "counter",
+                   help="faults whose clear event fired")
+_SKIPPED = declare("faults.skipped", "counter",
+                   help="faults skipped (missing target, would partition)")
+_MSG_SEEN = declare("faults.messages_seen", "counter",
+                    help="control-plane message attempts consulted")
+_MSG_DROPPED = declare("faults.messages_dropped", "counter",
+                       help="control-plane message attempts dropped")
 
 
 class FaultKind(str, Enum):
@@ -180,11 +192,54 @@ class FaultInjector:
         self._loss_rng = derive_rng(seed, "faults", "message-loss")
         self.armed = False
         self.active: set[Fault] = set()
-        self.injected = 0
-        self.cleared = 0
-        self.skipped = 0
-        self.messages_dropped = 0
-        self.messages_seen = 0
+        # registry-backed tallies (unlabelled: one injector per world);
+        # the legacy attributes are property views over these
+        self._m_injected = _INJECTED.labelled()
+        self._m_cleared = _CLEARED.labelled()
+        self._m_skipped = _SKIPPED.labelled()
+        self._m_messages_dropped = _MSG_DROPPED.labelled()
+        self._m_messages_seen = _MSG_SEEN.labelled()
+
+    # ------------------------------------------------------ legacy stat views
+    @property
+    def injected(self) -> int:
+        return self._m_injected.value
+
+    @injected.setter
+    def injected(self, value: int) -> None:
+        self._m_injected.value = value
+
+    @property
+    def cleared(self) -> int:
+        return self._m_cleared.value
+
+    @cleared.setter
+    def cleared(self, value: int) -> None:
+        self._m_cleared.value = value
+
+    @property
+    def skipped(self) -> int:
+        return self._m_skipped.value
+
+    @skipped.setter
+    def skipped(self, value: int) -> None:
+        self._m_skipped.value = value
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._m_messages_dropped.value
+
+    @messages_dropped.setter
+    def messages_dropped(self, value: int) -> None:
+        self._m_messages_dropped.value = value
+
+    @property
+    def messages_seen(self) -> int:
+        return self._m_messages_seen.value
+
+    @messages_seen.setter
+    def messages_seen(self, value: int) -> None:
+        self._m_messages_seen.value = value
 
     # ---------------------------------------------------------------- arming
     def arm(self) -> None:
@@ -215,11 +270,8 @@ class FaultInjector:
                 channel.injector = None
         self.active.clear()
         self.armed = False
-        self.injected = 0
-        self.cleared = 0
-        self.skipped = 0
-        self.messages_dropped = 0
-        self.messages_seen = 0
+        reset_metrics((self._m_injected, self._m_cleared, self._m_skipped,
+                       self._m_messages_dropped, self._m_messages_seen))
         self._loss_rng = derive_rng(self.seed, "faults", "message-loss")
 
     # -------------------------------------------------------------- handlers
@@ -229,7 +281,7 @@ class FaultInjector:
             if kind is FaultKind.DEVICE_CRASH:
                 device = self._device(fault.target[0])
                 if device is None or device.crashed:
-                    self.skipped += 1
+                    self._m_skipped.value += 1
                     return
                 device.crash()
             elif kind is FaultKind.LINK_FLAP:
@@ -238,7 +290,7 @@ class FaultInjector:
             elif kind is FaultKind.NMS_PARTITION:
                 nms = self._nms(fault.target[0])
                 if nms is None:
-                    self.skipped += 1
+                    self._m_skipped.value += 1
                     return
                 nms.partitioned = True
             elif kind is FaultKind.TCSP_OUTAGE:
@@ -248,16 +300,16 @@ class FaultInjector:
             # self.active, nothing to mutate here.
         except TopologyError:
             # e.g. the flap would partition the Internet — skip, keep going
-            self.skipped += 1
+            self._m_skipped.value += 1
             return
         self.active.add(fault)
-        self.injected += 1
+        self._m_injected.value += 1
 
     def _clear(self, fault: Fault) -> None:
         if fault not in self.active:
             return
         self.active.discard(fault)
-        self.cleared += 1
+        self._m_cleared.value += 1
         kind = fault.kind
         if kind is FaultKind.DEVICE_CRASH:
             device = self._device(fault.target[0])
@@ -290,13 +342,13 @@ class FaultInjector:
     def drop_message(self, channel: str, op: str, now: float) -> bool:
         """Should this control-plane message be lost?  Called by
         :meth:`repro.core.rpc.ControlChannel.call` per attempt."""
-        self.messages_seen += 1
+        self._m_messages_seen.value += 1
         rate = self.loss_rate_at(now)
         if rate <= 0.0:
             return False
         dropped = bool(self._loss_rng.random() < rate)
         if dropped:
-            self.messages_dropped += 1
+            self._m_messages_dropped.value += 1
         return dropped
 
     # --------------------------------------------------------------- lookups

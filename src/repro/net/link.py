@@ -8,6 +8,11 @@ standard scalable formulation for event-driven network simulators.
 
 Link drop statistics also feed the pushback baseline ("observing packet drop
 statistics in individual routers", Sec. 3.1).
+
+Counters live in the ambient :mod:`repro.obs` registry (family per metric,
+labelled by link name); ``link.tx_packets`` and friends are thin property
+views over the registered instruments, so existing callers and experiment
+tables are unchanged.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.net.packet import Packet
+from repro.obs.metrics import declare, reset_metrics
 from repro.util.stats import WindowedCounter
 from repro.util.units import BITS_PER_BYTE
 
@@ -24,6 +30,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.net.simulator import Simulator
 
 __all__ = ["Link"]
+
+_TX_PACKETS = declare("net.link.tx_packets", "counter", labels=("link",),
+                      help="packets accepted for transmission")
+_TX_BYTES = declare("net.link.tx_bytes", "counter", labels=("link",),
+                    help="bytes accepted for transmission")
+_DROPPED_PACKETS = declare("net.link.dropped_packets", "counter",
+                           labels=("link",), help="tail-dropped packets")
+_DROPPED_BYTES = declare("net.link.dropped_bytes", "counter",
+                         labels=("link",), help="tail-dropped bytes")
 
 
 class Link:
@@ -44,7 +59,8 @@ class Link:
     __slots__ = (
         "src", "dst", "bandwidth", "delay", "buffer_bytes",
         "_backlog", "_last_update",
-        "tx_packets", "tx_bytes", "dropped_packets", "dropped_bytes",
+        "_m_tx_packets", "_m_tx_bytes", "_m_dropped_packets",
+        "_m_dropped_bytes",
         "drop_window", "arrival_window", "drop_log",
     )
 
@@ -62,15 +78,51 @@ class Link:
         self.buffer_bytes = int(buffer_bytes)
         self._backlog = 0.0
         self._last_update = 0.0
-        self.tx_packets = 0
-        self.tx_bytes = 0
-        self.dropped_packets = 0
-        self.dropped_bytes = 0
+        # registry-backed counters; a freshly built link always starts at
+        # zero even when an earlier same-named link registered first
+        name = f"{src.name}->{dst.name}"
+        self._m_tx_packets = _TX_PACKETS.labelled(link=name)
+        self._m_tx_bytes = _TX_BYTES.labelled(link=name)
+        self._m_dropped_packets = _DROPPED_PACKETS.labelled(link=name)
+        self._m_dropped_bytes = _DROPPED_BYTES.labelled(link=name)
         # sliding windows for congestion detection (pushback) and stats
         self.drop_window = WindowedCounter(stats_window)
         self.arrival_window = WindowedCounter(stats_window)
         # recent drops as (time, packet) — pushback classifies these
         self.drop_log: list[tuple[float, Packet]] = []
+
+    # ------------------------------------------------------ legacy stat views
+    @property
+    def tx_packets(self) -> int:
+        return self._m_tx_packets.value
+
+    @tx_packets.setter
+    def tx_packets(self, value: int) -> None:
+        self._m_tx_packets.value = value
+
+    @property
+    def tx_bytes(self) -> int:
+        return self._m_tx_bytes.value
+
+    @tx_bytes.setter
+    def tx_bytes(self, value: int) -> None:
+        self._m_tx_bytes.value = value
+
+    @property
+    def dropped_packets(self) -> int:
+        return self._m_dropped_packets.value
+
+    @dropped_packets.setter
+    def dropped_packets(self, value: int) -> None:
+        self._m_dropped_packets.value = value
+
+    @property
+    def dropped_bytes(self) -> int:
+        return self._m_dropped_bytes.value
+
+    @dropped_bytes.setter
+    def dropped_bytes(self, value: int) -> None:
+        self._m_dropped_bytes.value = value
 
     def _drain(self, now: float) -> None:
         if now > self._last_update:
@@ -102,8 +154,8 @@ class Link:
         self._drain(now)
         self.arrival_window.add(now, packet.size)
         if self._backlog + packet.size > self.buffer_bytes:
-            self.dropped_packets += 1
-            self.dropped_bytes += packet.size
+            self._m_dropped_packets.value += 1
+            self._m_dropped_bytes.value += packet.size
             self.drop_window.add(now, packet.size)
             self.drop_log.append((now, packet))
             if len(self.drop_log) > 10_000:  # bound memory in long floods
@@ -111,15 +163,15 @@ class Link:
             return False
         self._backlog += packet.size
         serialization = self._backlog * BITS_PER_BYTE / self.bandwidth
-        self.tx_packets += 1
-        self.tx_bytes += packet.size
+        self._m_tx_packets.value += 1
+        self._m_tx_bytes.value += packet.size
         sim.schedule(serialization + self.delay, self.dst.receive, packet, self)
         return True
 
     def reset_stats(self) -> None:
         """Zero all counters (between experiment phases)."""
-        self.tx_packets = self.tx_bytes = 0
-        self.dropped_packets = self.dropped_bytes = 0
+        reset_metrics((self._m_tx_packets, self._m_tx_bytes,
+                       self._m_dropped_packets, self._m_dropped_bytes))
         self.drop_log.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

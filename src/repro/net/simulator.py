@@ -21,12 +21,20 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.obs.metrics import declare
 
 __all__ = ["Event", "Simulator"]
 
 #: Compact the heap once at least this many tombstones have accumulated
 #: *and* they outnumber the live events.
 _COMPACT_MIN_CANCELLED = 64
+
+_EVENTS = declare("sim.events_processed", "counter",
+                  help="events popped and executed by the event loop")
+_CANCELLED = declare("sim.events_cancelled", "counter",
+                     help="events cancelled before firing")
+_COMPACTIONS = declare("sim.heap_compactions", "counter",
+                       help="tombstone-compaction sweeps of the event heap")
 
 
 class Event:
@@ -76,7 +84,11 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
-        self._processed = 0
+        # registry-backed counters (unlabelled: the most recently built
+        # simulator owns the family's live series — one world per run)
+        self._m_processed = _EVENTS.labelled()
+        self._m_cancelled = _CANCELLED.labelled()
+        self._m_compactions = _COMPACTIONS.labelled()
         self._cancelled_pending = 0
         self.running = False
         self._reset_hooks: list[Callable[[], None]] = []
@@ -88,7 +100,7 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
-        return self._processed
+        return self._m_processed.value
 
     @property
     def pending(self) -> int:
@@ -132,6 +144,7 @@ class Simulator:
         return self.schedule_at(first, tick)
 
     def _note_cancelled(self) -> None:
+        self._m_cancelled.value += 1
         self._cancelled_pending += 1
         if (self._cancelled_pending >= _COMPACT_MIN_CANCELLED
                 and self._cancelled_pending * 2 >= len(self._heap)):
@@ -147,16 +160,18 @@ class Simulator:
         self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
         heapq.heapify(self._heap)
         self._cancelled_pending = 0
+        self._m_compactions.value += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Process events until the heap drains, ``until`` is reached, or
         ``max_events`` have fired.  Returns the number of events processed."""
-        processed_before = self._processed
+        processed = self._m_processed
+        processed_before = processed.value
         heap = self._heap
         self.running = True
         try:
             while heap:
-                if max_events is not None and self._processed - processed_before >= max_events:
+                if max_events is not None and processed.value - processed_before >= max_events:
                     break
                 time, _, ev = heap[0]
                 if until is not None and time > until:
@@ -168,13 +183,13 @@ class Simulator:
                     continue
                 self._now = time
                 ev.fn(*ev.args)
-                self._processed += 1
+                processed.value += 1
             else:
                 if until is not None:
                     self._now = max(self._now, until)
         finally:
             self.running = False
-        return self._processed - processed_before
+        return processed.value - processed_before
 
     def add_reset_hook(self, fn: Callable[[], None]) -> None:
         """Register a callback run (then discarded) by :meth:`reset`.
@@ -197,7 +212,7 @@ class Simulator:
         """
         self._heap.clear()
         self._now = 0.0
-        self._processed = 0
+        self._m_processed.reset()
         self._cancelled_pending = 0
         self._seq = itertools.count()
         hooks, self._reset_hooks = self._reset_hooks, []

@@ -1,0 +1,48 @@
+"""repro.obs — the unified telemetry layer.
+
+One typed, deterministic metrics registry under the data plane
+(:mod:`repro.net`), the control plane (:mod:`repro.core`) and the scenario
+engines (:mod:`repro.scenario`): Counter/Gauge/Histogram/SpanTimer
+instruments grouped into label-keyed families, ambient per-run scoping,
+``snapshot()``/``delta()`` views that are byte-identical serial vs
+parallel, wall-clock spans reported separately, and JSONL export.
+
+See DESIGN.md's observability section for the registry design and the
+determinism rules.
+"""
+
+from repro.obs.metrics import (
+    CATALOG,
+    Counter,
+    Family,
+    Gauge,
+    Histogram,
+    MetricDecl,
+    MetricRegistry,
+    SpanTimer,
+    declare,
+    default_registry,
+    get_registry,
+    reset_metrics,
+    scoped,
+    snapshot_delta,
+)
+from repro.obs.schema import full_catalog
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Family",
+    "Gauge",
+    "Histogram",
+    "MetricDecl",
+    "MetricRegistry",
+    "SpanTimer",
+    "declare",
+    "default_registry",
+    "full_catalog",
+    "get_registry",
+    "reset_metrics",
+    "scoped",
+    "snapshot_delta",
+]

@@ -1,0 +1,34 @@
+"""The process-wide metric schema: every name the codebase can emit.
+
+Metric names are declared at import time (:func:`repro.obs.metrics.declare`),
+so the full schema is a function of *imports*, not of any run.
+:func:`full_catalog` imports every emitting module and returns the
+resulting :data:`~repro.obs.metrics.CATALOG` — the source of truth behind
+``python -m repro obs`` and the bench schema-regression check.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.obs.metrics import CATALOG, MetricDecl
+
+__all__ = ["EMITTING_MODULES", "full_catalog"]
+
+#: Modules that declare metrics at import time.  Adding a new emitting
+#: module?  List it here so the schema dump and the CI schema check see it.
+EMITTING_MODULES = (
+    "repro.net.simulator",
+    "repro.net.link",
+    "repro.net.faults",
+    "repro.core.device",
+    "repro.core.rpc",
+    "repro.scenario.metrics",
+)
+
+
+def full_catalog() -> dict[str, MetricDecl]:
+    """Import every emitting module, then return the complete catalog."""
+    for module in EMITTING_MODULES:
+        importlib.import_module(module)
+    return dict(sorted(CATALOG.items()))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Protocol as TypingProtocol, runtime_checkable
 
 from repro.net.fluid import FluidNetwork
+from repro.obs.metrics import get_registry
 from repro.scenario import defenses
 from repro.scenario.build import BuiltScenario, build
 from repro.scenario.metrics import MetricSet, MetricSink
@@ -57,12 +58,15 @@ class PacketEngine:
         objects afterwards, e.g. experiments reading extra counters)."""
         sc = built.scenario
         handle = built.defense
-        sc.launch(legit=handle.legit_wrapper is None)
-        if handle.legit_wrapper is not None:
-            sc.launch_legit(handle.legit_wrapper)
-        metrics = sc.run(settle=built.spec.settle)
-        handle.finish()
-        return MetricSink.from_packet(built, metrics)
+        # wall-clock profiling span; timers stay out of the deterministic
+        # snapshot, so this never perturbs the serial == parallel contract
+        with get_registry().span("scenario.run_seconds", engine=self.name):
+            sc.launch(legit=handle.legit_wrapper is None)
+            if handle.legit_wrapper is not None:
+                sc.launch_legit(handle.legit_wrapper)
+            metrics = sc.run(settle=built.spec.settle)
+            handle.finish()
+        return MetricSink.from_packet(built, metrics).publish()
 
 
 class FluidEngine:
@@ -85,15 +89,16 @@ class FluidEngine:
         fluid = FluidNetwork(built.topology)
         filters = defenses.fluid_filters(built, spec.defense, fluid)
         sc = built.scenario
-        if spec.attack.kind == "reflector":
-            model = sc.fluid_reflector(fluid)
-            req, res = model.evaluate(filters=filters,
-                                      extra_flows=sc.legit_flows(),
-                                      congestion=self.congestion)
-            return MetricSink.from_fluid_reflector(built, req, res)
-        result = fluid.evaluate(sc.as_flows(), filters=filters,
-                                congestion=self.congestion)
-        return MetricSink.from_fluid_direct(built, result)
+        with get_registry().span("scenario.run_seconds", engine=self.name):
+            if spec.attack.kind == "reflector":
+                model = sc.fluid_reflector(fluid)
+                req, res = model.evaluate(filters=filters,
+                                          extra_flows=sc.legit_flows(),
+                                          congestion=self.congestion)
+                return MetricSink.from_fluid_reflector(built, req, res).publish()
+            result = fluid.evaluate(sc.as_flows(), filters=filters,
+                                    congestion=self.congestion)
+        return MetricSink.from_fluid_direct(built, result).publish()
 
 
 ENGINES: dict[str, type] = {

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.attack.scenarios import ScenarioMetrics
+from repro.obs.metrics import MetricRegistry, declare
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.fluid import FluidResult
@@ -36,6 +37,13 @@ __all__ = ["MetricSet", "MetricSink", "METRIC_NAMES"]
 METRIC_NAMES = ("attack_delivered", "attack_sent", "attack_survival",
                 "legit_goodput", "collateral", "byte_hops_attack",
                 "control_packets", "identified_true", "identified_false")
+
+_SCENARIO_GAUGES = {
+    name: declare(f"scenario.{name}", "gauge",
+                  labels=("engine", "scenario"),
+                  help=f"per-run {name.replace('_', ' ')} (uniform MetricSet)")
+    for name in METRIC_NAMES
+}
 
 
 @dataclass(frozen=True)
@@ -68,6 +76,17 @@ class MetricSet:
         """Stable content hash — equal iff the metric sets are identical."""
         text = json.dumps(dataclasses.asdict(self), sort_keys=True)
         return hashlib.sha256(text.encode()).hexdigest()
+
+    def publish(self, registry: "MetricRegistry | None" = None) -> "MetricSet":
+        """Register every standard value as a ``scenario.*`` gauge in the
+        (ambient) :mod:`repro.obs` registry, labelled by engine and
+        scenario name — one accounting pipeline for experiment tables and
+        exported telemetry.  Returns ``self`` for chaining."""
+        for name, decl in _SCENARIO_GAUGES.items():
+            gauge = decl.labelled(registry=registry, engine=self.engine,
+                                  scenario=self.scenario)
+            gauge.set(getattr(self, name))
+        return self
 
 
 class MetricSink:

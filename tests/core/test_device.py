@@ -258,3 +258,28 @@ class TestAttachToNetwork:
         net.run()
         assert y.received_packets == 1
         assert device.redirected == 0
+
+
+class TestResetStats:
+    def test_reset_stats_zeroes_counters_but_keeps_services(self):
+        device, acme, _ = make_device()
+        device.install(acme, dst_graph=drop_udp_graph())
+        device.process(Packet.udp(A("10.9.0.1"), A("10.1.0.1")), 0.0, None)
+        device.crash()
+        device.restart()
+        assert device.dropped == 1
+        assert device.crashes == 1 and device.restarts == 1
+
+        device.reset_stats()
+        for field in ("redirected", "dropped", "safety_disables", "crashes",
+                      "restarts", "flow_cache_hits", "flow_cache_misses"):
+            assert getattr(device, field) == 0
+
+    def test_reset_stats_is_accounting_only(self):
+        device, acme, _ = make_device()
+        device.install(acme, dst_graph=drop_udp_graph())
+        device.reset_stats()
+        # the installed service still filters after the reset
+        out = device.process(Packet.udp(A("10.9.0.1"), A("10.1.0.1")), 0.0, None)
+        assert out is None
+        assert device.dropped == 1

@@ -1,0 +1,104 @@
+"""The legacy attribute APIs are thin views over the registry.
+
+``link.dropped_packets``, ``device.flow_cache_hits``, ``channel.stats.calls``
+and friends predate :mod:`repro.obs`; they must keep reporting exactly what
+the registry records (and vice versa) so the experiment tables stay
+byte-identical across the refactor.
+"""
+
+import pytest
+
+from repro.core import AdaptiveDevice, DeviceContext, NetworkUser, OwnershipRegistry
+from repro.core.rpc import ControlChannel
+from repro.net import (
+    ASRole,
+    LinkParams,
+    Network,
+    Packet,
+    Prefix,
+    TopologyBuilder,
+)
+from repro.obs import scoped
+from repro.scenario import preset, run_scenario
+from repro.util.units import Mbps
+
+
+def test_link_attributes_mirror_registry_after_a_run():
+    with scoped() as reg:
+        net = Network(TopologyBuilder.line(2))
+        a = net.add_host(0, access=LinkParams(bandwidth=Mbps(1000),
+                                              delay=0.0, buffer_bytes=10**6))
+        b = net.add_host(1)
+        link = net.link_between(0, 1)
+        link.buffer_bytes = 1200
+        for _ in range(5):
+            a.send(Packet.udp(a.address, b.address, size=1000))
+        net.run()
+        assert link.dropped_packets >= 1
+        label = f"{{link={link.src.name}->{link.dst.name}}}"
+        snap = reg.snapshot()
+        assert snap[f"net.link.tx_packets{label}"] == link.tx_packets
+        assert snap[f"net.link.tx_bytes{label}"] == link.tx_bytes
+        assert snap[f"net.link.dropped_packets{label}"] == link.dropped_packets
+        assert snap[f"net.link.dropped_bytes{label}"] == link.dropped_bytes
+
+        link.reset_stats()
+        after = reg.snapshot()
+        for field in ("tx_packets", "tx_bytes", "dropped_packets",
+                      "dropped_bytes"):
+            assert after[f"net.link.{field}{label}"] == 0
+            assert getattr(link, field) == 0
+
+
+def test_device_attributes_mirror_registry_and_reset_together():
+    with scoped() as reg:
+        registry = OwnershipRegistry()
+        registry.register(NetworkUser("acme",
+                                      prefixes=[Prefix.parse("10.1.0.0/16")]))
+        ctx = DeviceContext(asn=7, role=ASRole.STUB,
+                            local_prefix=Prefix.parse("10.7.0.0/16"))
+        device = AdaptiveDevice(ctx, registry)
+        device.crash()
+        device.restart()
+        assert device.crashes == 1 and device.restarts == 1
+        snap = reg.snapshot()
+        assert snap["device.crashes{asn=7}"] == device.crashes
+        assert snap["device.restarts{asn=7}"] == device.restarts
+
+        device.reset_stats()
+        after = reg.snapshot()
+        assert device.crashes == 0 and device.restarts == 0
+        assert after["device.crashes{asn=7}"] == 0
+        for field in ("redirected", "dropped", "safety_disables",
+                      "flow_cache_hits", "flow_cache_misses"):
+            assert getattr(device, field) == 0
+
+
+def test_rpc_stats_mirror_registry():
+    with scoped() as reg:
+        channel = ControlChannel("tcsp")
+        channel.call("ping", lambda: "pong")
+        assert channel.stats.calls == 1 and channel.stats.delivered == 1
+        snap = reg.snapshot()
+        assert snap["rpc.calls{channel=tcsp}"] == 1
+        assert snap["rpc.delivered{channel=tcsp}"] == 1
+
+        channel.reset()
+        assert channel.stats.calls == 0
+        assert reg.snapshot()["rpc.calls{channel=tcsp}"] == 0
+
+
+def test_scenario_run_publishes_the_metric_set_as_gauges():
+    spec = preset("spoofed-flood-ingress").scaled(0.5)
+    with scoped() as reg:
+        metrics = run_scenario(spec, engine="packet")
+        snap = reg.snapshot()
+        label = f"{{engine=packet,scenario={spec.name}}}"
+        assert snap[f"scenario.attack_survival{label}"] == pytest.approx(
+            metrics.attack_survival)
+        assert snap[f"scenario.legit_goodput{label}"] == pytest.approx(
+            metrics.legit_goodput)
+        # the wall-clock run span exists but stays out of the snapshot
+        assert not any(key.startswith("scenario.run_seconds")
+                       for key in snap)
+        assert reg.timings()["scenario.run_seconds{engine=packet}"]["count"] == 1

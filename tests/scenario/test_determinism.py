@@ -7,11 +7,14 @@ Same spec + seed ⇒ byte-identical :class:`MetricSet` (equal
 the worker is a plain picklable top-level function.
 """
 
+import hashlib
+import json
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
 from repro.experiments.common import parallel_map
+from repro.obs import scoped
 from repro.scenario import ScenarioSpec, preset, run_scenario
 
 
@@ -20,6 +23,18 @@ def _sig(point):
     spec_json, engine = point
     spec = ScenarioSpec.from_json(spec_json)
     return run_scenario(spec, engine=engine).signature()
+
+
+def _registry_sig(point):
+    """Pool-worker entry point: run a JSON spec inside a fresh registry
+    scope and hash everything the run recorded (links, devices, rpc,
+    scenario gauges — timers excluded by construction)."""
+    spec_json, engine = point
+    spec = ScenarioSpec.from_json(spec_json)
+    with scoped() as reg:
+        run_scenario(spec, engine=engine)
+        text = json.dumps(reg.snapshot(), sort_keys=True)
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 SPEC = preset("reflector-tcs").scaled(0.5)
@@ -51,6 +66,33 @@ class TestDeterminism:
         try:
             with ProcessPoolExecutor(max_workers=2) as pool:
                 pooled = list(pool.map(_sig, POINTS))
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            pytest.skip(f"process pool unavailable here: {exc}")
+        assert pooled == serial
+
+
+class TestRegistryDeterminism:
+    """The full telemetry snapshot — not just the MetricSet — is part of
+    the determinism contract: equal runs record byte-equal registries."""
+
+    def test_repeated_runs_record_identical_registries(self):
+        first = _registry_sig(POINTS[0])
+        second = _registry_sig(POINTS[0])
+        assert first == second
+
+    def test_seed_changes_the_recorded_registry(self):
+        assert _registry_sig(POINTS[0]) != _registry_sig(POINTS[1])
+
+    def test_parallel_map_matches_serial(self):
+        serial = [_registry_sig(p) for p in POINTS]
+        fanned = parallel_map(_registry_sig, POINTS, workers=2)
+        assert fanned == serial
+
+    def test_process_pool_matches_serial(self):
+        serial = [_registry_sig(p) for p in POINTS]
+        try:
+            with ProcessPoolExecutor(max_workers=2) as pool:
+                pooled = list(pool.map(_registry_sig, POINTS))
         except (OSError, PermissionError) as exc:  # pragma: no cover
             pytest.skip(f"process pool unavailable here: {exc}")
         assert pooled == serial

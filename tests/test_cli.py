@@ -75,6 +75,69 @@ class TestExperimentsForwarding:
         assert "E5: misuse attempts" in out
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("python -m repro ")
+        # some dotted version follows the program name
+        assert out.split()[-1][0].isdigit()
+
+
+class TestObsCommand:
+    def test_table_lists_every_layer(self, capsys):
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("net.link.dropped_packets", "sim.events_processed",
+                     "device.flow_cache_hits", "rpc.backoff_s",
+                     "faults.injected", "scenario.attack_survival"):
+            assert name in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["obs", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in catalog}
+        assert by_name["net.link.tx_packets"]["kind"] == "counter"
+        assert by_name["net.link.tx_packets"]["labels"] == ["link"]
+        assert by_name["rpc.backoff_s"]["kind"] == "histogram"
+        assert by_name["scenario.legit_goodput"]["kind"] == "gauge"
+
+
+class TestMetricsOut:
+    def test_scenario_run_exports_jsonl(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "metrics.jsonl"
+        assert main(["scenario", "run", "--spec", "spoofed-flood-ingress",
+                     "--scale", "0.5", "--metrics-out", str(out_file)]) == 0
+        rows = [json.loads(line)
+                for line in out_file.read_text().splitlines()]
+        names = {row["name"] for row in rows}
+        assert "net.link.tx_packets" in names
+        assert "scenario.attack_survival" in names
+        # the export includes the wall-clock span, flagged as a timer
+        timer = next(r for r in rows if r["name"] == "scenario.run_seconds")
+        assert timer["kind"] == "timer"
+        assert timer["value"]["count"] == 1
+
+    def test_export_matches_printed_metrics(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "metrics.jsonl"
+        assert main(["scenario", "run", "--spec", "spoofed-flood-ingress",
+                     "--scale", "0.5", "--metrics-out", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        survival = next(
+            json.loads(line)["value"]
+            for line in out_file.read_text().splitlines()
+            if json.loads(line)["name"] == "scenario.attack_survival")
+        assert f"attack_survival   : {round(survival, 4)}" in printed
+
+
 class TestScenarioCommand:
     def test_list_prints_the_presets(self, capsys):
         assert main(["scenario", "list"]) == 0

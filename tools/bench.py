@@ -8,12 +8,23 @@ Usage::
     python tools/bench.py --compare old.json   # run, then print speedups
     python tools/bench.py --compare old.json --against BENCH_micro.json
                                                # compare two existing files
+    python tools/bench.py --check-schema tools/bench_schema.json
+                                               # fail on metric renames
+    python tools/bench.py --metrics-out bench.jsonl
+                                               # also dump raw JSONL samples
 
-Executes ``benchmarks/test_micro.py`` under pytest-benchmark, then distils
-its verbose JSON into a small, diff-friendly ``BENCH_micro.json`` at the
-repo root: median / mean / stddev seconds and rounds per benchmark.  Commit
-the file so every PR's perf effect is visible in review, and compare any
-two snapshots with ``--compare``.
+Executes ``benchmarks/test_micro.py`` under pytest-benchmark, routes the
+results through a :class:`repro.obs.MetricRegistry` (``bench.*`` gauges
+labelled by benchmark name — the same export pipeline the experiments
+use), then distils the registry into a small, diff-friendly
+``BENCH_micro.json`` at the repo root: median / mean / stddev seconds and
+rounds per benchmark.  Commit the file so every PR's perf effect is
+visible in review, and compare any two snapshots with ``--compare``.
+
+``--check-schema`` compares the emitted metric names and benchmark names
+against a committed schema (``tools/bench_schema.json``), so a benchmark
+or metric silently renamed or dropped fails CI instead of vanishing from
+the trajectory; regenerate the schema with ``--write-schema``.
 """
 
 from __future__ import annotations
@@ -27,8 +38,18 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs import MetricRegistry  # noqa: E402
+
 DEFAULT_OUT = REPO_ROOT / "BENCH_micro.json"
+DEFAULT_SCHEMA = REPO_ROOT / "tools" / "bench_schema.json"
 BENCH_FILE = "benchmarks/test_micro.py"
+
+#: The per-benchmark statistics we publish, as ``bench.<field>`` gauges,
+#: mapped to pytest-benchmark's key for the same quantity.
+BENCH_FIELDS = {"median_s": "median", "mean_s": "mean",
+                "stddev_s": "stddev", "rounds": "rounds"}
 
 
 def run_benchmarks(pytest_args: list[str]) -> dict:
@@ -48,24 +69,58 @@ def run_benchmarks(pytest_args: list[str]) -> dict:
             return json.load(fh)
 
 
-def normalize(raw: dict) -> dict:
-    """Distil pytest-benchmark output to stable medians per benchmark."""
-    benchmarks = {}
+def to_registry(raw: dict) -> MetricRegistry:
+    """Publish pytest-benchmark output as ``bench.*`` registry gauges."""
+    registry = MetricRegistry("bench")
     for bench in sorted(raw.get("benchmarks", []), key=lambda b: b["name"]):
         stats = bench["stats"]
-        benchmarks[bench["name"]] = {
-            "median_s": stats["median"],
-            "mean_s": stats["mean"],
-            "stddev_s": stats["stddev"],
-            "rounds": stats["rounds"],
-        }
+        for field, source in BENCH_FIELDS.items():
+            registry.gauge(f"bench.{field}",
+                           help=f"pytest-benchmark {field} per benchmark",
+                           benchmark=bench["name"]).set(stats[source])
+    return registry
+
+
+def normalize(raw: dict) -> dict:
+    """Distil the registry view to stable medians per benchmark."""
+    registry = to_registry(raw)
+    benchmarks: dict[str, dict] = {}
+    for name, _kind, labels, value in registry.samples(include_timing=True):
+        field = name.split(".", 1)[1]
+        benchmarks.setdefault(labels["benchmark"], {})[field] = value
     info = raw.get("machine_info", {})
     return {
         "suite": BENCH_FILE,
         "generated_by": "tools/bench.py",
         "python": info.get("python_version"),
-        "benchmarks": benchmarks,
+        "benchmarks": {name: dict(sorted(fields.items()))
+                       for name, fields in sorted(benchmarks.items())},
     }
+
+
+def schema_of(normalized: dict) -> dict:
+    """The name-level shape of a snapshot: metric names + benchmark names."""
+    return {
+        "metrics": [f"bench.{field}" for field in sorted(BENCH_FIELDS)],
+        "benchmarks": sorted(normalized["benchmarks"]),
+    }
+
+
+def check_schema(normalized: dict, schema_path: Path) -> list[str]:
+    """Differences between the emitted names and the committed schema."""
+    with open(schema_path) as fh:
+        want = json.load(fh)
+    have = schema_of(normalized)
+    problems = []
+    for key in ("metrics", "benchmarks"):
+        missing = sorted(set(want.get(key, ())) - set(have[key]))
+        extra = sorted(set(have[key]) - set(want.get(key, ())))
+        if missing:
+            problems.append(f"{key} missing vs schema: {missing}")
+        if extra:
+            problems.append(f"{key} not in schema (rename? run "
+                            f"--write-schema): {extra}")
+    return problems
 
 
 def _medians(snapshot: dict) -> dict:
@@ -101,6 +156,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--against", type=Path, metavar="CURRENT",
                         help="with --compare: use this existing snapshot "
                              "instead of running the suite")
+    parser.add_argument("--check-schema", type=Path, metavar="SCHEMA",
+                        help="fail unless emitted metric/benchmark names "
+                             f"match this schema (e.g. {DEFAULT_SCHEMA})")
+    parser.add_argument("--write-schema", type=Path, metavar="SCHEMA",
+                        help="write the emitted name schema here and exit 0")
+    parser.add_argument("--metrics-out", type=Path, metavar="FILE",
+                        help="also dump the registry samples as JSONL")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest (prefix "
                              "with -- to separate)")
@@ -114,9 +176,24 @@ def main(argv: list[str] | None = None) -> int:
         print(compare(baseline, current))
         return 0
 
-    normalized = normalize(run_benchmarks(args.pytest_args))
+    raw = run_benchmarks(args.pytest_args)
+    normalized = normalize(raw)
     args.out.write_text(json.dumps(normalized, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.out} ({len(normalized['benchmarks'])} benchmarks)")
+    if args.metrics_out:
+        args.metrics_out.write_text(to_registry(raw).to_jsonl())
+        print(f"wrote {args.metrics_out}")
+    if args.write_schema:
+        args.write_schema.write_text(
+            json.dumps(schema_of(normalized), indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.write_schema}")
+    if args.check_schema:
+        problems = check_schema(normalized, args.check_schema)
+        if problems:
+            for problem in problems:
+                print(f"schema check: {problem}", file=sys.stderr)
+            return 1
+        print(f"schema check: ok ({args.check_schema})")
     if args.compare:
         with open(args.compare) as fh:
             baseline = json.load(fh)
