@@ -19,14 +19,17 @@ from repro.net import (
     FlowSet,
     FluidNetwork,
     IPv4Address,
+    LinkParams,
     Network,
     Packet,
+    PacketBatch,
     Prefix,
     PrefixTable,
     Protocol,
     Simulator,
     TopologyBuilder,
 )
+from repro.util.units import Mbps, ms
 
 
 @pytest.fixture(scope="module")
@@ -119,6 +122,40 @@ def test_packet_forwarding_path(benchmark):
         assert b.received_packets > 0
 
     benchmark(run_net)
+
+
+@pytest.fixture(scope="module")
+def batch_line_net():
+    """A 5-AS line with fat links (no drops) shared across batch rounds.
+
+    The fluid-drain queue empties as simulated time advances between
+    rounds, so reuse is sound; only delivery counters accumulate.
+    """
+    fat = LinkParams(bandwidth=Mbps(10_000), delay=ms(1),
+                     buffer_bytes=1 << 30)
+    net = Network(TopologyBuilder.line(5), access=fat,
+                  link_params_fn=lambda a, b: fat)
+    return net, net.add_host(0), net.add_host(4)
+
+
+@pytest.mark.parametrize("batch_size", [1, 64, 1024, 16384])
+def test_batch_forwarding_path(benchmark, batch_line_net, batch_size):
+    """End-to-end delivery of one packet batch over the 5-AS line.
+
+    Compare per-packet against ``test_packet_forwarding_path`` (the scalar
+    pipeline): batch 1 is the SoA overhead floor, batch 1024 the target
+    regime (the CI perf-smoke guards its per-packet ratio vs scalar).
+    """
+    net, a, b = batch_line_net
+
+    def run_batch():
+        src = np.full(batch_size, int(a.address), dtype=np.int64)
+        before = b.received_packets
+        a.send_batch(PacketBatch.udp(src, int(b.address)))
+        net.run()
+        assert b.received_packets - before == batch_size
+
+    benchmark(run_batch)
 
 
 def test_fluid_evaluation(benchmark):

@@ -27,18 +27,21 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import DeploymentError, SafetyViolation
 from repro.core.components import ComponentContext
 from repro.core.graph import ComponentGraph
 from repro.core.ownership import NetworkUser, OwnershipRegistry
 from repro.core.safety import SafetyMonitor, vet_graph
 from repro.net.addressing import Prefix
-from repro.net.packet import Packet
+from repro.net.packet import Packet, Protocol
 from repro.net.topology import ASRole
 from repro.obs.metrics import declare, reset_metrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
+    from repro.net.packet import PacketBatch
 
 __all__ = ["DeviceContext", "ServiceInstance", "AdaptiveDevice",
            "FLOW_CACHE_CAPACITY"]
@@ -406,6 +409,14 @@ class AdaptiveDevice:
             return None
         self._m_redirected.value += 1
         src_owner, dst_owner, _ = self._flow_lookup(packet)
+        return self._run_stages(packet, src_owner, dst_owner, now,
+                                ingress_asn)
+
+    def _run_stages(self, packet: Packet, src_owner: Optional[NetworkUser],
+                    dst_owner: Optional[NetworkUser], now: float,
+                    ingress_asn: Optional[int]) -> Optional[Packet]:
+        """The two-stage loop with owners already resolved (shared by the
+        scalar path and the batch path's residual set)."""
         local_origin = ingress_asn is None
         stages = [(src_owner, "source"), (dst_owner, "dest")]
         if self.stage_order == "dst-first":  # E13 ablation only
@@ -420,6 +431,129 @@ class AdaptiveDevice:
                 return None
             packet = packet_after
         return packet
+
+    def process_batch(self, batch: "PacketBatch", now: float,
+                      ingress_asn: Optional[int]
+                      ) -> tuple[Optional["PacketBatch"],
+                                 Optional["PacketBatch"]]:
+        """Vectorised redirect decision + two-stage pipeline over a batch.
+
+        The pipeline has two vectorised stages and a scalar residue:
+
+        1. flow resolution — the batch's 4-tuples collapse to unique flows
+           (``np.unique`` over packed uint64 key columns); cached flows are
+           resolved with one dict probe each, and the *miss set only* is
+           batch-fed through the ownership registry's compiled LPM
+           (:meth:`OwnershipRegistry.owners_of_many`),
+        2. redirect decision — a boolean take over the per-flow verdicts,
+        3. residual scalar path — only packets an active service actually
+           claims are materialised and run through :meth:`_run_stages`,
+           exactly as the scalar engine would.
+
+        Returns ``(passed, dropped)`` sub-batches (either may be ``None``).
+        Counter totals (redirected / dropped / cache hits / misses) equal
+        the scalar loop's for any packet order, provided the batch's
+        distinct flows fit the flow cache (no LRU churn mid-batch) — the
+        property pinned by tests/core/test_device_batch.py.
+        """
+        n = len(batch)
+        if n == 0:
+            return batch, None
+        if self.crashed:
+            if self.fail_policy == "fail-open":
+                return batch, None
+            # fail-closed: every *owned* packet is blocked, counters match
+            # wants() + process() on the scalar path
+            src_owners = self.registry.owners_of_many(batch.src)
+            dst_owners = self.registry.owners_of_many(batch.dst)
+            owned = np.fromiter(
+                (s is not None or d is not None
+                 for s, d in zip(src_owners, dst_owners)),
+                dtype=bool, count=n)
+            if not owned.any():
+                return batch, None
+            dropped = batch.select(owned)
+            self._m_dropped.value += len(dropped)
+            passed = batch.select(~owned) if not owned.all() else None
+            return passed, dropped
+
+        cache = self._flow_cache
+        if self._flow_cache_version != self.registry.version:
+            cache.clear()
+            self._flow_cache_version = self.registry.version
+        key_a, key_b = batch.flow_keys()
+        pairs = np.empty(n, dtype=[("a", np.uint64), ("b", np.uint64)])
+        pairs["a"] = key_a
+        pairs["b"] = key_b
+        unique_flows, first_idx, inverse, counts = np.unique(
+            pairs, return_index=True, return_inverse=True, return_counts=True)
+        n_unique = len(unique_flows)
+        entries: list[tuple] = [()] * n_unique
+        hits = 0
+        misses: list[tuple[int, tuple, int]] = []  # (slot, key, row)
+        for j in range(n_unique):
+            row = int(first_idx[j])
+            key = (int(batch.src[row]), int(batch.dst[row]),
+                   Protocol(int(batch.proto[row])), int(batch.dport[row]))
+            entry = cache.get(key)
+            if entry is not None:
+                # scalar parity: first packet of the flow hits, and so do
+                # its count-1 repeats
+                hits += int(counts[j])
+                cache.move_to_end(key)
+                entries[j] = entry
+            else:
+                # scalar parity: first packet misses, repeats then hit
+                hits += int(counts[j]) - 1
+                misses.append((j, key, row))
+        if misses:
+            miss_rows = np.array([row for _, _, row in misses],
+                                 dtype=np.int64)
+            src_owners = self.registry.owners_of_many(batch.src[miss_rows])
+            dst_owners = self.registry.owners_of_many(batch.dst[miss_rows])
+            services = self.services
+            for k, (j, key, _row) in enumerate(misses):
+                src_owner, dst_owner = src_owners[k], dst_owners[k]
+                src_inst = (None if src_owner is None
+                            else services.get(src_owner.user_id))
+                dst_inst = (None if dst_owner is None
+                            else services.get(dst_owner.user_id))
+                wants = ((src_inst is not None and src_inst.active)
+                         or (dst_inst is not None and dst_inst.active))
+                entry = (src_owner, dst_owner, wants)
+                entries[j] = entry
+                cache[key] = entry
+                if len(cache) > self.flow_cache_capacity:
+                    cache.popitem(last=False)
+        self._m_fc_hits.value += hits
+        self._m_fc_misses.value += len(misses)
+
+        wants_flow = np.fromiter((e[2] for e in entries), dtype=bool,
+                                 count=n_unique)
+        wanted = wants_flow[inverse]
+        n_wanted = int(wanted.sum())
+        if n_wanted == 0:
+            return batch, None
+        # scalar parity: each redirected packet re-probes the cache inside
+        # process() (one extra hit) before running its stages
+        self._m_redirected.value += n_wanted
+        self._m_fc_hits.value += n_wanted
+        keep = np.ones(n, dtype=bool)
+        for i in np.nonzero(wanted)[0]:
+            i = int(i)
+            src_owner, dst_owner, _ = entries[int(inverse[i])]
+            pkt = batch.packet_at(i)
+            out = self._run_stages(pkt, src_owner, dst_owner, now,
+                                   ingress_asn)
+            if out is None:
+                keep[i] = False
+            else:
+                batch.write_back(i, out)
+        if keep.all():
+            return batch, None
+        dropped = batch.select(~keep)
+        passed = batch.select(keep) if keep.any() else None
+        return passed, dropped
 
     def _run_stage(self, packet: Packet, owner: NetworkUser, stage: str,
                    now: float, ingress_asn: Optional[int],

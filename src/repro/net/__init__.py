@@ -16,8 +16,15 @@ from repro.net.addressing import (
     PrefixTable,
     summarize,
 )
-from repro.net.packet import ICMPType, Packet, Protocol, TCPFlags
-from repro.net.topology import ASRole, ASInfo, Topology, TopologyBuilder
+from repro.net.packet import ICMPType, Packet, PacketBatch, Protocol, TCPFlags
+from repro.net.topology import (
+    ASRole,
+    ASInfo,
+    Topology,
+    TopologyBuilder,
+    parse_as_rel2,
+    synthesize_as_rel2,
+)
 from repro.net.routing import RoutingTable, build_routing
 from repro.net.policy import PolicyRouting, Relationship
 from repro.net.link import Link
@@ -40,6 +47,7 @@ __all__ = [
     "Network",
     "LinkParams",
     "Packet",
+    "PacketBatch",
     "Protocol",
     "TCPFlags",
     "ICMPType",
@@ -47,6 +55,8 @@ __all__ = [
     "ASInfo",
     "Topology",
     "TopologyBuilder",
+    "parse_as_rel2",
+    "synthesize_as_rel2",
     "RoutingTable",
     "build_routing",
     "PolicyRouting",

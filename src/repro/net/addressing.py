@@ -35,6 +35,44 @@ _MAX = 0xFFFFFFFF
 T = TypeVar("T")
 
 
+def _coerce_addr_batch(addrs) -> np.ndarray:
+    """Normalise a batch of addresses to a validated int64 ndarray.
+
+    Accepts anything :func:`numpy.asarray` can turn into an array: integer
+    arrays of any width, float arrays holding whole numbers, lists of
+    ints/strings/:class:`IPv4Address`, or the empty list.  Raises
+    :class:`~repro.errors.AddressError` on fractional floats, values
+    outside the 32-bit address space (including negatives — before this
+    check a ``-1`` silently wrapped to the *last* interval of the compiled
+    table), and non-numeric dtypes.
+    """
+    arr = np.asarray(addrs)
+    kind = arr.dtype.kind
+    if kind == "O" or kind in "US":
+        flat = [_as_int(a) for a in arr.ravel().tolist()]
+        arr = np.array(flat, dtype=np.int64).reshape(arr.shape)
+    elif kind == "f":
+        if arr.size and not np.all(np.mod(arr, 1.0) == 0.0):
+            raise AddressError("address batch contains non-integer floats")
+        arr = arr.astype(np.int64)
+    elif kind == "u":
+        # check before the int64 cast: huge uint64s would wrap silently
+        if arr.size and int(arr.max()) > _MAX:
+            raise AddressError(
+                f"address out of range in batch: {int(arr.max()):#x}")
+        arr = arr.astype(np.int64)
+    elif kind in "ib":
+        arr = arr.astype(np.int64, copy=False)
+    else:
+        raise AddressError(f"unsupported address batch dtype: {arr.dtype}")
+    if arr.size:
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi > _MAX:
+            bad = lo if lo < 0 else hi
+            raise AddressError(f"address out of range in batch: {bad:#x}")
+    return arr
+
+
 @dataclass(frozen=True, order=True)
 class IPv4Address:
     """An IPv4 address stored as an unsigned 32-bit integer.
@@ -196,7 +234,8 @@ class CompiledPrefixTable(Generic[T]):
     snapshot: mutate the source trie and :meth:`PrefixTable.compile` again.
     """
 
-    __slots__ = ("_starts", "_starts_np", "_values", "_value_ids", "_size")
+    __slots__ = ("_starts", "_starts_np", "_values", "_value_ids", "_size",
+                 "_int_values", "_none_mask")
 
     def __init__(self, table: "PrefixTable[T]") -> None:
         bounds = {0}
@@ -224,6 +263,9 @@ class CompiledPrefixTable(Generic[T]):
         self._starts_np = np.asarray(merged_starts, dtype=np.int64)
         self._value_ids = np.empty(len(values), dtype=object)
         self._value_ids[:] = values
+        # lazy int64 projection of the interval values for lookup_many_int
+        self._int_values: Optional[np.ndarray] = None
+        self._none_mask: Optional[np.ndarray] = None
 
     def lookup(self, addr: "IPv4Address | int | str") -> Optional[T]:
         """Longest-prefix-match lookup; None when nothing matches."""
@@ -231,15 +273,57 @@ class CompiledPrefixTable(Generic[T]):
         return self._values[bisect_right(self._starts, a) - 1]
 
     def lookup_many(self, addrs) -> np.ndarray:
-        """Vectorised LPM for a batch of integer addresses.
+        """Vectorised LPM for a batch of addresses.
 
-        ``addrs`` is anything :func:`numpy.asarray` accepts (a list of ints,
-        an integer ndarray, ...); returns an object ndarray of matched
-        values (``None`` where nothing matches), aligned with the input.
+        ``addrs`` is anything :func:`numpy.asarray` accepts: an integer
+        ndarray (any width), a float ndarray of whole numbers, a list of
+        ints / dotted-quad strings / :class:`IPv4Address`, or the empty
+        list.  Returns an object ndarray of matched values (``None`` where
+        nothing matches), aligned with the input shape.  Addresses outside
+        the 32-bit space raise :class:`~repro.errors.AddressError` instead
+        of silently wrapping onto the wrong interval.
         """
-        arr = np.asarray(addrs, dtype=np.int64)
+        arr = _coerce_addr_batch(addrs)
+        if arr.size == 0:
+            return np.empty(arr.shape, dtype=object)
         idx = np.searchsorted(self._starts_np, arr, side="right") - 1
         return self._value_ids[idx]
+
+    def _compile_int_values(self) -> None:
+        n = len(self._values)
+        vals = np.zeros(n, dtype=np.int64)
+        none_mask = np.zeros(n, dtype=bool)
+        for j, v in enumerate(self._values):
+            if v is None:
+                none_mask[j] = True
+            elif isinstance(v, (int, np.integer)) and not isinstance(v, bool):
+                vals[j] = int(v)
+            else:
+                raise AddressError(
+                    f"lookup_many_int needs integer table values, got {type(v).__name__}")
+        self._int_values = vals
+        self._none_mask = none_mask
+
+    def lookup_many_int(self, addrs, default: int = -1) -> np.ndarray:
+        """Vectorised LPM returning an int64 array (for int-valued tables).
+
+        Like :meth:`lookup_many` but stays in int64 end to end — the hot
+        path for routing-style tables mapping prefixes to AS numbers.
+        Unmatched addresses yield ``default`` instead of ``None``.  Raises
+        :class:`~repro.errors.AddressError` when the table holds non-int
+        values.
+        """
+        arr = _coerce_addr_batch(addrs)
+        if self._int_values is None:
+            self._compile_int_values()
+        assert self._int_values is not None and self._none_mask is not None
+        if arr.size == 0:
+            return np.empty(arr.shape, dtype=np.int64)
+        idx = np.searchsorted(self._starts_np, arr, side="right") - 1
+        out = self._int_values[idx]
+        if self._none_mask.any():
+            out = np.where(self._none_mask[idx], default, out)
+        return out
 
     def __contains__(self, addr: "IPv4Address | int | str") -> bool:
         return self.lookup(addr) is not None
@@ -366,6 +450,10 @@ class PrefixTable(Generic[T]):
     def lookup_many(self, addrs) -> np.ndarray:
         """Vectorised LPM over a batch of addresses (compiles if needed)."""
         return self.compile().lookup_many(addrs)
+
+    def lookup_many_int(self, addrs, default: int = -1) -> np.ndarray:
+        """Vectorised int64 LPM for int-valued tables (compiles if needed)."""
+        return self.compile().lookup_many_int(addrs, default=default)
 
     def covering(self, prefix: Prefix) -> Iterator[tuple[Prefix, T]]:
         """Yield stored entries whose prefix covers ``prefix``, shortest

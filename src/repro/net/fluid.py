@@ -22,10 +22,11 @@ from typing import Callable, Iterable, Optional, Protocol, Sequence
 import numpy as np
 
 from repro.errors import RoutingError, TopologyError
-from repro.net.topology import ASRole, Topology
+from repro.net.topology import ASRole, Topology, TopologyBuilder
 from repro.util.units import Mbps
 
-__all__ = ["Flow", "FlowSet", "FluidFilter", "FluidNetwork", "FluidResult"]
+__all__ = ["Flow", "FlowSet", "FluidFilter", "FluidNetwork", "FluidResult",
+           "flood_flows"]
 
 
 @dataclass(frozen=True)
@@ -127,6 +128,27 @@ class FluidResult:
         return self.delivered_rate(kind) / sent if sent > 0 else 0.0
 
 
+def flood_flows(topology: Topology, victim: int, n_sources: int,
+                rate_each: float, rng: np.random.Generator,
+                kind: str = "attack") -> FlowSet:
+    """A flooding-attack flow set: ``n_sources`` distinct stub ASes (victim
+    excluded) each pushing ``rate_each`` bits/s at ``victim``.
+
+    Sampling is deterministic given ``rng``; used by the CAIDA-scale E6
+    tables where per-packet agent modelling would dominate runtime.
+    """
+    candidates = [a for a in topology.stub_ases if a != victim]
+    if len(candidates) < n_sources:
+        raise TopologyError(
+            f"need {n_sources} stub sources but only {len(candidates)} available"
+        )
+    picked = rng.choice(len(candidates), size=n_sources, replace=False)
+    return FlowSet(
+        Flow(src_asn=candidates[i], dst_asn=victim, rate=rate_each, kind=kind)
+        for i in sorted(picked)
+    )
+
+
 class FluidNetwork:
     """Fluid traffic evaluation on an AS topology.
 
@@ -147,6 +169,18 @@ class FluidNetwork:
         #: valley-free paths); None = shortest-path BFS routing
         self.path_fn = path_fn
         self._path_fn_cache: dict[tuple[int, int], list[int]] = {}
+
+    @classmethod
+    def from_as_rel2(cls, source, prefix_length: int = 24,
+                     capacity_fn: Optional[Callable[[int, int], float]] = None,
+                     path_fn: Optional[Callable[[int, int], list[int]]] = None
+                     ) -> "FluidNetwork":
+        """Fluid network over a CAIDA ``as-rel2`` snapshot (or synthetic
+        text in that shape) — the scalability path for E6: tens of
+        thousands of ASes are tractable here where packet simulation is
+        not."""
+        topo = TopologyBuilder.from_as_rel2(source, prefix_length=prefix_length)
+        return cls(topo, capacity_fn=capacity_fn, path_fn=path_fn)
 
     def _default_capacity(self, a: int, b: int) -> float:
         roles = {self.topology.role_of(a), self.topology.role_of(b)}

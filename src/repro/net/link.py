@@ -17,10 +17,12 @@ tables are unchanged.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.errors import SimulationError
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketBatch
 from repro.obs.metrics import declare, reset_metrics
 from repro.util.stats import WindowedCounter
 from repro.util.units import BITS_PER_BYTE
@@ -167,6 +169,72 @@ class Link:
         self._m_tx_bytes.value += packet.size
         sim.schedule(serialization + self.delay, self.dst.receive, packet, self)
         return True
+
+    def transmit_batch(self, batch: PacketBatch,
+                       sim: "Simulator") -> Optional[PacketBatch]:
+        """Vectorised drop-tail enqueue of a whole batch.
+
+        Applies the exact per-packet FIFO admission rule (drop packet i iff
+        admitting it would push the backlog past the buffer) as array
+        operations: a cumulative-sum prefix plus one ``searchsorted`` per
+        *dropped* packet, so the common all-accepted case is O(1) in
+        Python.  Accepted packets are delivered by ONE batch event at the
+        serialization time of the full accepted backlog — for a batch of
+        size 1 this is exactly :meth:`send`'s timing and accounting, so the
+        scalar and batch engines agree byte for byte at B=1; at larger B
+        the intra-batch departure spacing is coarsened by design.
+
+        Returns the rejected sub-batch, or ``None`` when every packet was
+        accepted.  The caller must not reuse ``batch`` afterwards
+        (ownership transfers to the receiver).
+        """
+        n = len(batch)
+        if n == 0:
+            return None
+        now = sim.now
+        self._drain(now)
+        sizes = batch.size
+        total = int(sizes.sum())
+        self.arrival_window.add(now, total)
+        room = self.buffer_bytes - self._backlog
+        if total <= room:
+            accepted: Optional[PacketBatch] = batch
+            rejected: Optional[PacketBatch] = None
+            accepted_bytes, n_accepted = total, n
+        else:
+            csum = np.cumsum(sizes)
+            keep = np.ones(n, dtype=bool)
+            dropped_bytes = 0
+            # first index whose running accepted backlog exceeds the room;
+            # each iteration drops one packet, so this loops O(#drops)
+            i = int(np.searchsorted(csum, room + dropped_bytes, side="right"))
+            while i < n:
+                keep[i] = False
+                dropped_bytes += int(sizes[i])
+                i = int(np.searchsorted(csum, room + dropped_bytes,
+                                        side="right"))
+            rejected = batch.select(~keep)
+            n_rejected = len(rejected)
+            self._m_dropped_packets.value += n_rejected
+            self._m_dropped_bytes.value += dropped_bytes
+            self.drop_window.add(now, dropped_bytes)
+            # pushback reads drop_log packets; materialise the few drops
+            for p in rejected.to_packets():
+                self.drop_log.append((now, p))
+            if len(self.drop_log) > 10_000:
+                del self.drop_log[:5_000]
+            accepted = batch.select(keep)
+            accepted_bytes = total - dropped_bytes
+            n_accepted = n - n_rejected
+        if n_accepted == 0:
+            return rejected
+        self._backlog += accepted_bytes
+        serialization = self._backlog * BITS_PER_BYTE / self.bandwidth
+        self._m_tx_packets.value += n_accepted
+        self._m_tx_bytes.value += accepted_bytes
+        sim.schedule_batch(serialization + self.delay,
+                           self.dst.receive_batch, accepted, self)
+        return rejected
 
     def reset_stats(self) -> None:
         """Zero all counters (between experiment phases)."""

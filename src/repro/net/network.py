@@ -126,6 +126,10 @@ class Network:
         hop in :meth:`Router.forward`)."""
         self.global_drops[reason] += 1
 
+    def note_drop_batch(self, asn: int, batch, reason: str) -> None:
+        """Batch analogue of :meth:`note_drop`: one increment per batch."""
+        self.global_drops[reason] += len(batch)
+
     def path(self, src_asn: int, dst_asn: int) -> list[int]:
         """AS path under the current routing tables."""
         return as_path(self.routing, src_asn, dst_asn)

@@ -20,9 +20,11 @@ from __future__ import annotations
 from collections import Counter
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Protocol as TypingProtocol
 
+import numpy as np
+
 from repro.net.addressing import IPv4Address
 from repro.net.link import Link
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketBatch
 from repro.util.stats import WindowedCounter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,6 +58,10 @@ class Node:
         self.name = name
 
     def receive(self, packet: Packet, link: Optional[Link]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def receive_batch(self, batch: PacketBatch,
+                      link: Optional[Link]) -> None:  # pragma: no cover
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -120,6 +126,25 @@ class Host(Node):
                 for reply in replies:
                     self.send(reply)
 
+    def receive_batch(self, batch: PacketBatch, link: Optional[Link]) -> None:
+        """Batch delivery; counters accumulate per batch.
+
+        Hosts with per-packet behaviour (a CPU model, responders, or a
+        record log) take the scalar-fallback path so that behaviour stays
+        exact; plain counting hosts — the common case in floods — tally the
+        whole batch with a handful of array reductions.
+        """
+        if self._proc_window is not None or self.responders or self.record:
+            for p in batch.to_packets():
+                self.receive(p, link)
+            return
+        self.received_packets += len(batch)
+        self.received_bytes += batch.total_bytes
+        for kind, count in batch.kind_counts().items():
+            self.received_by_kind[kind] += count
+        for kind, nbytes in batch.bytes_by_kind().items():
+            self.received_bytes_by_kind[kind] += nbytes
+
     def send(self, packet: Packet) -> bool:
         """Transmit a packet over the access uplink toward the AS router."""
         if self.uplink is None:
@@ -128,6 +153,19 @@ class Host(Node):
         if packet.created_at == 0.0:
             packet.created_at = self.network.sim.now
         return self.uplink.send(packet, self.network.sim)
+
+    def send_batch(self, batch: PacketBatch) -> int:
+        """Transmit a whole batch over the access uplink; returns the
+        number of packets the uplink accepted."""
+        if self.uplink is None:
+            raise RuntimeError(f"{self.name} is not attached to the network")
+        n = len(batch)
+        self.sent_packets += n
+        unstamped = batch.created_at == 0.0
+        if unstamped.any():
+            batch.created_at[unstamped] = self.network.sim.now
+        rejected = self.uplink.transmit_batch(batch, self.network.sim)
+        return n - (0 if rejected is None else len(rejected))
 
     def reset_stats(self) -> None:
         self.received_packets = self.received_bytes = self.sent_packets = 0
@@ -199,6 +237,43 @@ class Router(Node):
             packet = processed
         self.forward(packet)
 
+    def _drop_batch(self, batch: PacketBatch, reason: str) -> None:
+        self.drops[reason] += len(batch)
+        for kind, count in batch.kind_counts().items():
+            self.drops_by_kind[(reason, kind)] += count
+        self.network.note_drop_batch(self.asn, batch, reason)
+
+    def receive_batch(self, batch: PacketBatch, link: Optional[Link]) -> None:
+        """Batch ingress: the vectorised mirror of :meth:`receive`.
+
+        Mitigation filters are per-packet callables, so their presence
+        forces the scalar-fallback path; likewise an attached device
+        without a ``process_batch`` method.  Otherwise the batch flows
+        through the device's vectorised redirect decision and on to
+        :meth:`forward_batch` intact.
+        """
+        if len(batch) == 0:
+            return
+        if self.filters:
+            for p in batch.to_packets():
+                self.receive(p, link)
+            return
+        device = self.adaptive_device
+        if device is not None:
+            if not hasattr(device, "process_batch"):
+                for p in batch.to_packets():
+                    self.receive(p, link)
+                return
+            now = self.network.sim.now
+            ingress = self._ingress_asn(link)
+            passed, dropped = device.process_batch(batch, now, ingress)
+            if dropped is not None and len(dropped):
+                self._drop_batch(dropped, "adaptive-device")
+            if passed is None or len(passed) == 0:
+                return
+            batch = passed
+        self.forward_batch(batch)
+
     def _ingress_asn(self, link: Optional[Link]) -> Optional[int]:
         """ASN of the neighbour the packet arrived from (None for local/host)."""
         if link is None:
@@ -234,6 +309,57 @@ class Router(Node):
         if not egress.send(packet, self.network.sim):
             self._drop(packet, "queue-full")
 
+    def forward_batch(self, batch: PacketBatch) -> None:
+        """Vectorised forwarding: one LPM batch resolves every destination
+        AS, TTLs decrement as an array op, and packets sharing a next hop
+        leave in one sub-batch per egress link."""
+        net = self.network
+        dst_asn = net.topology.as_of_many(batch.dst)
+        no_route = dst_asn < 0
+        if no_route.any():
+            self._drop_batch(batch.select(no_route), "no-route")
+            routable = ~no_route
+            batch = batch.select(routable)
+            dst_asn = dst_asn[routable]
+            if len(batch) == 0:
+                return
+        local = dst_asn == self.asn
+        if local.any():
+            self._deliver_local_batch(batch.select(local))
+            if local.all():
+                return
+            remote = ~local
+            batch = batch.select(remote)
+            dst_asn = dst_asn[remote]
+        expired = batch.ttl <= 1
+        if expired.any():
+            self._drop_batch(batch.select(expired), "ttl-expired")
+            alive = ~expired
+            batch = batch.select(alive)
+            dst_asn = dst_asn[alive]
+            if len(batch) == 0:
+                return
+        batch.ttl -= 1
+        table = net.routing[self.asn]
+        unique_dsts, inverse = np.unique(dst_asn, return_inverse=True)
+        hop_of = np.array([table.next_hop(int(d)) for d in unique_dsts],
+                          dtype=np.int64)
+        next_asn = hop_of[inverse]
+        for hop in np.unique(hop_of):
+            mask = next_asn == hop
+            sub = batch.select(mask) if not mask.all() else batch
+            egress = self.links.get(int(hop))
+            if egress is None:
+                self._drop_batch(sub, "no-link")
+                continue
+            self.forwarded_packets += len(sub)
+            self.forwarded_bytes += sub.total_bytes
+            for kind, nbytes in sub.bytes_by_kind().items():
+                net.byte_hops_by_kind[kind] += nbytes
+            rejected = egress.transmit_batch(sub, net.sim)
+            if rejected is not None and len(rejected):
+                self._drop_batch(rejected, "queue-full")
+
     def _deliver_local(self, packet: Packet) -> None:
         downlink = self.host_links.get(int(packet.dst))
         if downlink is None:
@@ -242,6 +368,20 @@ class Router(Node):
         self.delivered_packets += 1
         if not downlink.send(packet, self.network.sim):
             self._drop(packet, "queue-full")
+
+    def _deliver_local_batch(self, batch: PacketBatch) -> None:
+        dsts = batch.dst
+        for value in np.unique(dsts):
+            mask = dsts == value
+            sub = batch.select(mask) if not mask.all() else batch
+            downlink = self.host_links.get(int(value))
+            if downlink is None:
+                self._drop_batch(sub, "no-host")
+                continue
+            self.delivered_packets += len(sub)
+            rejected = downlink.transmit_batch(sub, self.network.sim)
+            if rejected is not None and len(rejected):
+                self._drop_batch(rejected, "queue-full")
 
     def reset_stats(self) -> None:
         self.forwarded_packets = self.forwarded_bytes = self.delivered_packets = 0

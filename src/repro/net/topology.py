@@ -22,8 +22,9 @@ Plus ``line``/``star``/``tree`` micro-topologies for tests and examples.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 import networkx as nx
 import numpy as np
@@ -38,7 +39,8 @@ from repro.net.addressing import (
 )
 from repro.util.rng import derive_rng
 
-__all__ = ["ASRole", "ASInfo", "Topology", "TopologyBuilder"]
+__all__ = ["ASRole", "ASInfo", "Topology", "TopologyBuilder",
+           "parse_as_rel2", "synthesize_as_rel2"]
 
 
 class ASRole(enum.Enum):
@@ -108,6 +110,11 @@ class Topology:
     def as_of(self, addr: IPv4Address | int | str) -> Optional[int]:
         """The AS owning ``addr`` (longest-prefix match), or None."""
         return self.prefix_table.lookup(addr)
+
+    def as_of_many(self, addrs) -> np.ndarray:
+        """Vectorised :meth:`as_of`: an int64 array of AS numbers aligned
+        with ``addrs``, with -1 where no AS owns the address."""
+        return self.prefix_table.lookup_many_int(addrs, default=-1)
 
     def role_of(self, asn: int) -> ASRole:
         return self.ases[asn].role
@@ -303,6 +310,158 @@ class TopologyBuilder:
         for v in g.nodes:
             g.nodes[v]["role"] = (roles or {}).get(v, g.nodes[v].get("role", ASRole.STUB))
         return Topology(g, prefix_length=prefix_length)
+
+    @staticmethod
+    def from_as_rel2(source: Union[str, os.PathLike, Iterable[str]],
+                     prefix_length: int = 24,
+                     pool: str = "10.0.0.0/8") -> Topology:
+        """Build a topology from CAIDA ``as-rel2`` relationship data.
+
+        ``source`` is a path (:class:`os.PathLike`), the file *content* as
+        one string, or an iterable of lines — see :func:`parse_as_rel2`.
+        ASes keep their original AS numbers.  At CAIDA scale a /24 per AS
+        exhausts the 10.0.0.0/8 pool beyond 65k ASes; pass a longer
+        ``prefix_length`` for larger snapshots.
+        """
+        return Topology(parse_as_rel2(source), prefix_length=prefix_length,
+                        pool=pool)
+
+    @staticmethod
+    def caida_like(n: int = 1000, seed: int | None = None,
+                   prefix_length: int = 24,
+                   p2p_fraction: float = 0.12) -> Topology:
+        """A deterministic synthetic AS graph in CAIDA ``as-rel2`` shape.
+
+        Convenience wrapper: :func:`synthesize_as_rel2` then
+        :meth:`from_as_rel2`, so the synthetic path exercises exactly the
+        parser the real-snapshot path uses.
+        """
+        return TopologyBuilder.from_as_rel2(
+            synthesize_as_rel2(n, seed=seed, p2p_fraction=p2p_fraction),
+            prefix_length=prefix_length)
+
+
+def parse_as_rel2(source: Union[str, os.PathLike, Iterable[str]]) -> nx.Graph:
+    """Parse CAIDA ``as-rel2`` (serial-2) AS relationship data into a graph.
+
+    The format is one relationship per line — ``<a>|<b>|-1`` meaning *a is a
+    provider of b*, ``<a>|<b>|0`` meaning *a and b peer* — with ``#`` comment
+    lines interspersed.  ``source`` may be a filesystem path
+    (:class:`os.PathLike`), the file content as a single string, or any
+    iterable of lines.
+
+    Returns an undirected :class:`networkx.Graph` whose nodes carry a
+    ``role`` (:class:`ASRole`) classified from the relationship structure —
+    an AS with no customers is a STUB, one with customers but no providers
+    is CORE (tier-1), anything in between is TRANSIT — and whose edges carry
+    ``rel`` (``"p2c"`` or ``"p2p"``) plus, for p2c edges, ``provider``.
+    Disconnected snapshots are reduced to their giant component so the
+    result is always a valid :class:`Topology` graph.
+    """
+    if isinstance(source, os.PathLike):
+        with open(source, encoding="utf-8") as fh:
+            lines: Iterable[str] = fh.read().splitlines()
+    elif isinstance(source, str):
+        lines = source.splitlines()
+    else:
+        lines = source
+    g = nx.Graph()
+    providers_of: dict[int, set[int]] = {}
+    customers_of: dict[int, set[int]] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) < 3:
+            raise TopologyError(f"as-rel2 line {lineno}: malformed {line!r}")
+        try:
+            a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise TopologyError(f"as-rel2 line {lineno}: malformed {line!r}") from exc
+        if a == b:
+            continue
+        if rel == -1:
+            g.add_edge(a, b, rel="p2c", provider=a)
+            customers_of.setdefault(a, set()).add(b)
+            providers_of.setdefault(b, set()).add(a)
+        elif rel == 0:
+            if not g.has_edge(a, b):  # p2c takes precedence over duplicate p2p
+                g.add_edge(a, b, rel="p2p")
+        else:
+            raise TopologyError(
+                f"as-rel2 line {lineno}: unknown relationship {rel} in {line!r}"
+            )
+    if g.number_of_nodes() == 0:
+        raise TopologyError("as-rel2 source contains no relationships")
+    for v in g.nodes:
+        has_customers = bool(customers_of.get(v))
+        has_providers = bool(providers_of.get(v))
+        if not has_customers:
+            role = ASRole.STUB
+        elif not has_providers:
+            role = ASRole.CORE
+        else:
+            role = ASRole.TRANSIT
+        g.nodes[v]["role"] = role
+    if not nx.is_connected(g):
+        giant = max(nx.connected_components(g), key=len)
+        g = g.subgraph(giant).copy()
+    return g
+
+
+def synthesize_as_rel2(n: int, seed: int | None = None,
+                       tier1: int | None = None,
+                       p2p_fraction: float = 0.12) -> str:
+    """Generate a deterministic synthetic AS graph as ``as-rel2`` text.
+
+    Shape follows the CAIDA serial-2 snapshots the paper's scale argument
+    rests on (Sec. 5.3, "roughly 18'000 autonomous systems"): a small
+    tier-1 clique of mutual peers, every later AS buying transit from one
+    or two existing providers chosen by preferential attachment (degree-
+    proportional, via an O(n) target-list sampler), plus a sprinkle of
+    lateral peering links.  ASNs are 1-based and contiguous; output is
+    reproducible for a given ``(n, seed)``.
+    """
+    if n < 2:
+        raise TopologyError(f"synthesize_as_rel2 needs n >= 2 (n={n})")
+    rng = derive_rng(seed, "as-rel2-synth")
+    n_tier1 = tier1 if tier1 is not None else max(2, min(8, n // 50))
+    n_tier1 = min(n_tier1, n)
+    lines = [
+        "# synthetic as-rel2 (CAIDA serial-2 shaped), not a real snapshot",
+        f"# generator: repro.net.topology.synthesize_as_rel2(n={n}, seed={seed})",
+        "# format: <provider-as>|<customer-as>|-1 | <peer-as>|<peer-as>|0",
+    ]
+    # tier-1 clique: mutual peers, no providers
+    for i in range(1, n_tier1 + 1):
+        for j in range(i + 1, n_tier1 + 1):
+            lines.append(f"{i}|{j}|0")
+    # preferential attachment over a target list: each p2c edge appends the
+    # provider once, so sampling uniformly from `targets` is degree-biased
+    targets = list(range(1, n_tier1 + 1))
+    p2c: list[tuple[int, int]] = []
+    for asn in range(n_tier1 + 1, n + 1):
+        n_providers = 2 if rng.random() < 0.3 else 1
+        chosen: set[int] = set()
+        while len(chosen) < min(n_providers, asn - 1):
+            chosen.add(targets[int(rng.integers(0, len(targets)))])
+        for provider in sorted(chosen):
+            p2c.append((provider, asn))
+            targets.append(provider)
+        targets.append(asn)
+    lines.extend(f"{p}|{c}|-1" for p, c in p2c)
+    # lateral p2p links between non-tier-1 ASes for path diversity
+    n_p2p = int(p2p_fraction * max(0, n - n_tier1))
+    seen = {tuple(sorted(e)) for e in p2c}
+    for _ in range(n_p2p):
+        a = int(rng.integers(n_tier1 + 1, n + 1))
+        b = int(rng.integers(n_tier1 + 1, n + 1))
+        if a == b or tuple(sorted((a, b))) in seen:
+            continue
+        seen.add(tuple(sorted((a, b))))
+        lines.append(f"{min(a, b)}|{max(a, b)}|0")
+    return "\n".join(lines) + "\n"
 
 
 def stub_sample(topology: Topology, count: int, rng: np.random.Generator,

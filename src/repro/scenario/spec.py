@@ -44,7 +44,7 @@ __all__ = [
 ]
 
 TOPOLOGY_KINDS = ("hierarchical", "powerlaw", "internet", "line", "star",
-                  "tree")
+                  "tree", "caida")
 
 
 class SpecError(ReproError):
@@ -100,6 +100,9 @@ class TopologySpec:
             return TopologyBuilder.star(self.n)
         if self.kind == "tree":
             return TopologyBuilder.tree(self.branching, self.height)
+        if self.kind == "caida":
+            return TopologyBuilder.caida_like(
+                n=self.n, seed=seed, prefix_length=self.prefix_length)
         raise SpecError(f"unknown topology kind {self.kind!r}")
 
 

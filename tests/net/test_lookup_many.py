@@ -1,0 +1,130 @@
+"""Edge cases of the vectorised LPM batch lookups.
+
+``lookup_many`` feeds the batched data plane (ownership decisions, AS
+resolution), so its behaviour on empty batches, unmatched addresses and
+awkward input dtypes is pinned here — including the int64 fast path
+``lookup_many_int`` that the forwarding loop uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.net import Prefix, PrefixTable
+
+
+@pytest.fixture()
+def table() -> PrefixTable:
+    t = PrefixTable()
+    t.insert(Prefix.parse("10.0.0.0/8"), "ten")
+    t.insert(Prefix.parse("10.1.0.0/16"), "ten-one")
+    t.insert(Prefix.parse("192.168.0.0/16"), "private")
+    return t
+
+
+def addr(s: str) -> int:
+    from repro.net import IPv4Address
+
+    return int(IPv4Address.parse(s))
+
+
+class TestEmptyAndNoMatch:
+    def test_empty_input(self, table):
+        out = table.compile().lookup_many(np.empty(0, dtype=np.int64))
+        assert out.shape == (0,)
+        assert out.dtype == object
+
+    def test_empty_list_input(self, table):
+        assert len(table.compile().lookup_many([])) == 0
+
+    def test_no_match_is_none(self, table):
+        out = table.compile().lookup_many([addr("172.16.0.1"), addr("10.1.2.3")])
+        assert list(out) == [None, "ten-one"]
+
+    def test_all_unmatched(self, table):
+        out = table.compile().lookup_many([0, 2**32 - 1])
+        assert list(out) == [None, None]
+
+    def test_empty_table_no_match(self):
+        out = PrefixTable().compile().lookup_many([addr("10.0.0.1")])
+        assert list(out) == [None]
+
+
+class TestDtypes:
+    def test_object_array_of_strings(self, table):
+        arr = np.array(["10.1.2.3", "192.168.5.5"], dtype=object)
+        assert list(table.compile().lookup_many(arr)) == ["ten-one", "private"]
+
+    def test_plain_python_list_of_strings(self, table):
+        out = table.compile().lookup_many(["10.2.0.1", "172.16.0.1"])
+        assert list(out) == ["ten", None]
+
+    def test_integral_floats_accepted(self, table):
+        arr = np.array([float(addr("10.1.0.9")), float(addr("8.8.8.8"))])
+        assert list(table.compile().lookup_many(arr)) == ["ten-one", None]
+
+    def test_fractional_floats_rejected(self, table):
+        with pytest.raises(AddressError):
+            table.compile().lookup_many(np.array([1.5, 2.0]))
+
+    def test_uint64_in_range(self, table):
+        arr = np.array([addr("10.1.2.3")], dtype=np.uint64)
+        assert list(table.compile().lookup_many(arr)) == ["ten-one"]
+
+    def test_uint32_accepted(self, table):
+        arr = np.array([addr("192.168.0.1")], dtype=np.uint32)
+        assert list(table.compile().lookup_many(arr)) == ["private"]
+
+
+class TestRangeValidation:
+    def test_negative_rejected(self, table):
+        """A -1 must raise, not wrap around to the last interval."""
+        with pytest.raises(AddressError):
+            table.compile().lookup_many(np.array([-1], dtype=np.int64))
+
+    def test_above_32_bits_rejected(self, table):
+        with pytest.raises(AddressError):
+            table.compile().lookup_many(np.array([2**32], dtype=np.int64))
+
+    def test_huge_uint64_rejected(self, table):
+        """Values past 2^32 must not alias after an int64 cast."""
+        with pytest.raises(AddressError):
+            table.compile().lookup_many(np.array([2**63], dtype=np.uint64))
+
+
+class TestLookupManyInt:
+    def test_int_values_round_trip(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.0.0.0/8"), 7)
+        t.insert(Prefix.parse("10.1.0.0/16"), 8)
+        out = t.lookup_many_int(
+            [addr("10.1.2.3"), addr("10.9.9.9"), addr("8.8.8.8")])
+        assert out.dtype == np.int64
+        assert list(out) == [8, 7, -1]
+
+    def test_custom_default(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.0.0.0/8"), 1)
+        out = t.lookup_many_int([addr("11.0.0.1")], default=-999)
+        assert list(out) == [-999]
+
+    def test_empty_input(self):
+        t = PrefixTable()
+        t.insert(Prefix.parse("10.0.0.0/8"), 1)
+        assert len(t.lookup_many_int([])) == 0
+
+    def test_non_int_values_raise(self, table):
+        with pytest.raises(AddressError):
+            table.lookup_many_int([addr("10.0.0.1")])
+
+    def test_matches_scalar_lookup(self):
+        t = PrefixTable()
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            v = int(rng.integers(0, 2**32))
+            t.insert(Prefix.make(v, int(rng.integers(8, 25))), v % 1000)
+        queries = rng.integers(0, 2**32, 512)
+        batch = t.lookup_many_int(queries, default=-1)
+        for q, got in zip(queries, batch):
+            want = t.lookup(int(q))
+            assert got == (-1 if want is None else want)

@@ -32,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -50,6 +51,17 @@ BENCH_FILE = "benchmarks/test_micro.py"
 #: mapped to pytest-benchmark's key for the same quantity.
 BENCH_FIELDS = {"median_s": "median", "mean_s": "mean",
                 "stddev_s": "stddev", "rounds": "rounds"}
+
+#: Batch-size-parametrized benchmarks publish ``bench.batch.<field>``
+#: gauges labelled (benchmark, batch) instead of folding the size into
+#: the name, so dashboards can sweep the batch dimension.
+_BATCH_NAME = re.compile(r"^(?P<base>test_batch_\w+)\[(?P<batch>\d+)\]$")
+
+#: The scalar/batched pair the perf-smoke ratio compares, with the
+#: packets each moves per round (the scalar benchmark sends 500 packets;
+#: the batch one sends its batch size).
+SCALAR_BENCH = ("test_packet_forwarding_path", 500)
+BATCH_BENCH = ("test_batch_forwarding_path", 1024)
 
 
 def run_benchmarks(pytest_args: list[str]) -> dict:
@@ -74,10 +86,17 @@ def to_registry(raw: dict) -> MetricRegistry:
     registry = MetricRegistry("bench")
     for bench in sorted(raw.get("benchmarks", []), key=lambda b: b["name"]):
         stats = bench["stats"]
+        batched = _BATCH_NAME.match(bench["name"])
         for field, source in BENCH_FIELDS.items():
-            registry.gauge(f"bench.{field}",
-                           help=f"pytest-benchmark {field} per benchmark",
-                           benchmark=bench["name"]).set(stats[source])
+            if batched:
+                registry.gauge(f"bench.batch.{field}",
+                               help=f"pytest-benchmark {field} per batch size",
+                               benchmark=batched["base"],
+                               batch=batched["batch"]).set(stats[source])
+            else:
+                registry.gauge(f"bench.{field}",
+                               help=f"pytest-benchmark {field} per benchmark",
+                               benchmark=bench["name"]).set(stats[source])
     return registry
 
 
@@ -86,8 +105,13 @@ def normalize(raw: dict) -> dict:
     registry = to_registry(raw)
     benchmarks: dict[str, dict] = {}
     for name, _kind, labels, value in registry.samples(include_timing=True):
-        field = name.split(".", 1)[1]
-        benchmarks.setdefault(labels["benchmark"], {})[field] = value
+        if name.startswith("bench.batch."):
+            field = name[len("bench.batch."):]
+            key = f"{labels['benchmark']}[{labels['batch']}]"
+        else:
+            field = name.split(".", 1)[1]
+            key = labels["benchmark"]
+        benchmarks.setdefault(key, {})[field] = value
     info = raw.get("machine_info", {})
     return {
         "suite": BENCH_FILE,
@@ -100,10 +124,30 @@ def normalize(raw: dict) -> dict:
 
 def schema_of(normalized: dict) -> dict:
     """The name-level shape of a snapshot: metric names + benchmark names."""
+    metrics = [f"bench.{field}" for field in sorted(BENCH_FIELDS)]
+    if any("[" in name for name in normalized["benchmarks"]):
+        metrics += [f"bench.batch.{field}" for field in sorted(BENCH_FIELDS)]
     return {
-        "metrics": [f"bench.{field}" for field in sorted(BENCH_FIELDS)],
+        "metrics": sorted(metrics),
         "benchmarks": sorted(normalized["benchmarks"]),
     }
+
+
+def batch_ratio(normalized: dict) -> float | None:
+    """Scalar-vs-batched per-packet forwarding ratio (>1 = batching wins).
+
+    ``None`` when either side is absent from the snapshot (e.g. a run
+    filtered with ``-k``).
+    """
+    scalar_name, scalar_packets = SCALAR_BENCH
+    batch_base, batch_size = BATCH_BENCH
+    benches = normalized["benchmarks"]
+    scalar = benches.get(scalar_name)
+    batched = benches.get(f"{batch_base}[{batch_size}]")
+    if not scalar or not batched:
+        return None
+    return ((scalar["median_s"] / scalar_packets)
+            / (batched["median_s"] / batch_size))
 
 
 def check_schema(normalized: dict, schema_path: Path) -> list[str]:
@@ -163,6 +207,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the emitted name schema here and exit 0")
     parser.add_argument("--metrics-out", type=Path, metavar="FILE",
                         help="also dump the registry samples as JSONL")
+    parser.add_argument("--check-batch-ratio", type=float, metavar="MIN",
+                        help="fail unless the batched forwarding path is at "
+                             "least MIN times faster per packet than the "
+                             "scalar one (perf-smoke regression guard)")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest (prefix "
                              "with -- to separate)")
@@ -194,6 +242,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"schema check: {problem}", file=sys.stderr)
             return 1
         print(f"schema check: ok ({args.check_schema})")
+    if args.check_batch_ratio is not None:
+        ratio = batch_ratio(normalized)
+        if ratio is None:
+            print("batch ratio: scalar or batched forwarding benchmark "
+                  "missing from this run", file=sys.stderr)
+            return 1
+        print(f"batch ratio: batched forwarding is {ratio:.1f}x the scalar "
+              f"per-packet rate (floor {args.check_batch_ratio:g}x)")
+        if ratio < args.check_batch_ratio:
+            print(f"batch ratio: {ratio:.2f} below floor "
+                  f"{args.check_batch_ratio:g} — batched data plane "
+                  "regressed", file=sys.stderr)
+            return 1
     if args.compare:
         with open(args.compare) as fh:
             baseline = json.load(fh)
