@@ -180,3 +180,64 @@ def test_routing_table_construction(benchmark):
     from repro.net import build_routing
 
     benchmark(build_routing, topo)
+
+
+@pytest.fixture(scope="module")
+def sketch_traffic():
+    """A zipf-ish source population with an AS resolver, as packets and as
+    one SoA batch (the statistics collector's two input shapes)."""
+    from repro.core.components import ComponentContext
+
+    rng = np.random.default_rng(7)
+    fan_in = 4096
+    weights = 1.0 / np.arange(1, fan_in + 1) ** 1.1
+    weights /= weights.sum()
+    srcs = rng.choice(fan_in, size=16384, p=weights).astype(np.int64) + 1
+    sizes = rng.integers(64, 1500, size=16384).astype(np.int64)
+    dst = IPv4Address(10 << 24)
+    packets = [Packet.udp(IPv4Address(int(s)), dst, size=int(z))
+               for s, z in zip(srcs[:500], sizes[:500])]
+    batch = PacketBatch.udp(srcs, int(dst))
+    batch.size[:] = sizes
+    ctx = ComponentContext(now=0.0, asn=1, is_transit=False,
+                           local_prefix=Prefix.make(0, 8), stage="dest",
+                           owner=None)
+    resolver = lambda addr: int(addr) % 64  # noqa: E731 — 64 source ASes
+    resolver_many = lambda a: np.asarray(a, dtype=np.int64) % 64  # noqa: E731
+    return packets, batch, ctx, resolver, resolver_many
+
+
+def test_sketch_scalar_update(benchmark, sketch_traffic):
+    """The exact per-packet Counter path: 500 scalar collector updates."""
+    from repro.core.apps.statistics import TrafficMatrixCollector
+
+    packets, _batch, ctx, resolver, _many = sketch_traffic
+    collector = TrafficMatrixCollector(resolver=resolver, backend="exact")
+
+    def run_scalar():
+        for packet in packets:
+            collector.process(packet, ctx)
+
+    benchmark(run_scalar)
+
+
+@pytest.mark.parametrize("batch_size", [64, 1024, 16384])
+def test_sketch_batch_update(benchmark, sketch_traffic, batch_size):
+    """One vectorised sketch-backed collector update of a whole batch.
+
+    Compare per-packet against ``test_sketch_scalar_update`` (the exact
+    per-packet Counter path): the CI perf-smoke guards the batch-1024
+    ratio via ``tools/bench.py --check-sketch-ratio``.
+    """
+    from repro.core.apps.statistics import TrafficMatrixCollector
+
+    _packets, batch, ctx, resolver, resolver_many = sketch_traffic
+    rows = np.arange(batch_size)
+    collector = TrafficMatrixCollector(resolver=resolver,
+                                       resolver_many=resolver_many,
+                                       backend="cmsketch", seed=7)
+
+    def run_batch():
+        collector.process_batch(batch, rows, ctx)
+
+    benchmark(run_batch)

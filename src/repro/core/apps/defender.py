@@ -26,6 +26,7 @@ from repro.core.deployment import DeploymentScope
 from repro.core.service import TrafficControlService
 from repro.net.node import Host
 from repro.net.packet import Packet, Protocol, TCPFlags
+from repro.util.sketch import SpaceSaving
 from repro.util.stats import WindowedCounter
 
 __all__ = ["DefenseAction", "ReactiveDefender"]
@@ -47,7 +48,8 @@ class ReactiveDefender:
     def __init__(self, service: TrafficControlService, victim: Host,
                  threshold_pps: float = 100.0, window: float = 0.2,
                  service_ports: tuple[int, ...] = (80,),
-                 thresholds: Optional[dict[str, float]] = None) -> None:
+                 thresholds: Optional[dict[str, float]] = None,
+                 track_sources: int = 0) -> None:
         self.service = service
         self.victim = victim
         self.service_ports = set(service_ports)
@@ -65,6 +67,12 @@ class ReactiveDefender:
             "reflection": WindowedCounter(window),
             "rst-storm": WindowedCounter(window),
         }
+        #: per-signature heavy-hitter candidates (``track_sources`` > 0):
+        #: O(1) state per signature regardless of attacker fan-in, so the
+        #: defender can name suspects without growing a dict per source
+        self.source_tracks: dict[str, SpaceSaving] = (
+            {sig: SpaceSaving(track_sources) for sig in self._signals}
+            if track_sources > 0 else {})
         self.actions: list[DefenseAction] = []
         self._deployed: set[str] = set()
         victim.add_responder(self._observe)
@@ -89,6 +97,8 @@ class ReactiveDefender:
             return None
         counter = self._signals[signature]
         counter.add(now)
+        if self.source_tracks:
+            self.source_tracks[signature].update(int(packet.src))
         if (signature not in self._deployed
                 and counter.rate(now) > self.thresholds[signature]):
             self._respond(signature, now)
@@ -131,3 +141,12 @@ class ReactiveDefender:
             if action.signature == signature:
                 return action.time - attack_start
         return None
+
+    def top_sources(self, signature: str, n: int = 5) -> list[tuple[int, int]]:
+        """Heaviest observed sources for ``signature`` (address, count).
+
+        Counts are SpaceSaving upper bounds; the guaranteed-monitored
+        property means any source above ``total/track_sources`` appears.
+        """
+        tracker = self.source_tracks.get(signature)
+        return tracker.top(n) if tracker is not None else []

@@ -15,7 +15,7 @@ configurations" (Sec. 4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.components import (
@@ -39,6 +39,8 @@ class ReactionEvent:
     time: float
     asn: int
     rate_pps: float
+    #: offending sources identified at the firing (heavy-hitter mode only)
+    sources: tuple[int, ...] = ()
 
 
 @dataclass
@@ -46,20 +48,33 @@ class _DeviceReaction:
     trigger: TriggerComponent
     limiter: RateLimiterComponent
     active: bool = False
+    sources: set[int] = field(default_factory=set)
 
 
 class AutoReactionApp:
-    """Trigger-armed rate limiting for the user's inbound traffic."""
+    """Trigger-armed rate limiting for the user's inbound traffic.
+
+    ``heavy_hitter_k`` (> 0) attaches a SpaceSaving source tracker to each
+    trigger so firings carry the offending source addresses, and the
+    reaction limits *those sources only* instead of all matching traffic.
+    ``per_source`` additionally fires the trigger once per source whose
+    own rate exceeds ``threshold_pps`` (not just on the aggregate).
+    """
 
     def __init__(self, service: TrafficControlService,
                  threshold_pps: float, limit_bps: float,
                  predicate: Optional[Callable[[Packet], bool]] = None,
-                 window: float = 0.25) -> None:
+                 window: float = 0.25, heavy_hitter_k: int = 0,
+                 per_source: bool = False,
+                 hh_min_share: float = 0.05) -> None:
         self.service = service
         self.threshold_pps = threshold_pps
         self.limit_bps = limit_bps
         self.predicate = predicate
         self.window = window
+        self.heavy_hitter_k = heavy_hitter_k
+        self.per_source = per_source
+        self.hh_min_share = hh_min_share
         self.events: list[ReactionEvent] = []
         self.reactions: dict[int, _DeviceReaction] = {}
 
@@ -73,7 +88,8 @@ class AutoReactionApp:
         class GatedLimiter(RateLimiterComponent):
             """Rate limiter that is a no-op until the trigger activates it,
             and then limits only the *anomalous* traffic ("a rule that rate
-            limits the anomalous traffic could be activated")."""
+            limits the anomalous traffic could be activated") — narrowed to
+            the identified offenders when the trigger names any."""
 
             def process(self, packet: Packet, ctx: ComponentContext):
                 from repro.core.components import Verdict
@@ -82,6 +98,8 @@ class AutoReactionApp:
                     return Verdict.PASS
                 if predicate is not None and not predicate(packet):
                     return Verdict.PASS
+                if reaction.sources and int(packet.src) not in reaction.sources:
+                    return Verdict.PASS
                 return super().process(packet, ctx)
 
         gated = GatedLimiter("reaction-limit", self.limit_bps)
@@ -89,11 +107,18 @@ class AutoReactionApp:
 
         def on_fire(ctx: ComponentContext, rate: float) -> None:
             reaction.active = True
-            self.events.append(ReactionEvent(time=ctx.now, asn=ctx.asn, rate_pps=rate))
+            sources = reaction.trigger.last_sources
+            reaction.sources.update(sources)
+            self.events.append(ReactionEvent(
+                time=ctx.now, asn=ctx.asn, rate_pps=rate, sources=sources))
 
-        trigger = TriggerComponent("anomaly-trigger", self.threshold_pps,
-                                   action=on_fire, predicate=self.predicate,
-                                   window=self.window)
+        trigger = TriggerComponent(
+            "anomaly-trigger", self.threshold_pps,
+            action=on_fire, predicate=self.predicate, window=self.window,
+            track_sources=self.heavy_hitter_k,
+            per_source_threshold=(self.threshold_pps if self.per_source
+                                  else None),
+            hh_min_share=self.hh_min_share)
         reaction.trigger = trigger
         self.reactions[device_ctx.asn] = reaction
         graph = ComponentGraph(f"auto-react:{self.service.user.user_id}")
@@ -117,3 +142,10 @@ class AutoReactionApp:
 
     def limited_packets(self) -> int:
         return sum(r.limiter.dropped for r in self.reactions.values())
+
+    def offending_sources(self) -> set[int]:
+        """Union of sources identified across all devices' firings."""
+        out: set[int] = set()
+        for reaction in self.reactions.values():
+            out.update(reaction.sources)
+        return out

@@ -19,15 +19,24 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.errors import ReproError
 from repro.net.addressing import Prefix
 from repro.net.packet import IP_HEADER_BYTES, Packet, Protocol, TCPFlags
+from repro.obs.metrics import declare
 from repro.util.bloom import BloomFilter
+from repro.util.sketch import SpaceSaving
 from repro.util.stats import WindowedCounter
 from repro.util.tokenbucket import TokenBucket
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.ownership import NetworkUser
+    from repro.net.packet import PacketBatch
+
+_HEAVY_HITTERS = declare(
+    "trigger.heavy_hitters", "counter", labels=("asn",),
+    help="offending sources identified at trigger firings")
 
 __all__ = [
     "Verdict", "Capabilities", "ComponentContext", "Component",
@@ -96,6 +105,10 @@ class Component:
     #: Sec. 4.2: components whose behaviour depends on the routing topology
     #: must be adapted or temporarily disabled on routing updates.
     topology_dependent: bool = False
+    #: Pure observers that implement :meth:`process_batch` set this; the
+    #: device then feeds them whole sub-batches (one vectorised update
+    #: instead of per-packet calls) when every stage in the graph qualifies.
+    batch_capable: bool = False
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -103,6 +116,16 @@ class Component:
         self.dropped = 0
 
     def process(self, packet: Packet, ctx: ComponentContext) -> Verdict:  # pragma: no cover
+        raise NotImplementedError
+
+    def process_batch(self, batch: "PacketBatch", rows: np.ndarray,
+                      ctx: ComponentContext) -> None:  # pragma: no cover
+        """Vectorised observe-only path over ``batch[rows]``.
+
+        Only meaningful for ``batch_capable`` components whose capabilities
+        declare neither drops nor mutations — the caller passes every
+        packet and accounts ``processed`` itself.
+        """
         raise NotImplementedError
 
     def __call__(self, packet: Packet, ctx: ComponentContext) -> Verdict:
@@ -310,6 +333,7 @@ class StatisticsCollector(Component):
     """
 
     capabilities = Capabilities(extra_traffic_bps=1_000.0)
+    batch_capable = True
 
     def __init__(self, name: str = "stats", window: float = 1.0) -> None:
         super().__init__(name)
@@ -326,6 +350,29 @@ class StatisticsCollector(Component):
         self.byte_rate.add(ctx.now, packet.size)
         return Verdict.PASS
 
+    def process_batch(self, batch: "PacketBatch", rows: np.ndarray,
+                      ctx: ComponentContext) -> None:
+        n = len(rows)
+        if n == 0:
+            return
+        protos = batch.proto[rows]
+        sizes = batch.size[rows]
+        uniq, first, inverse = np.unique(protos, return_index=True,
+                                         return_inverse=True)
+        pkts = np.bincount(inverse, minlength=len(uniq))
+        octets = np.bincount(inverse, weights=sizes,
+                             minlength=len(uniq)).astype(np.int64)
+        # first-appearance order keeps dict insertion order equal to the
+        # scalar per-packet path
+        for j in np.argsort(first, kind="stable"):
+            proto = Protocol(int(uniq[j])).name
+            self.packets_by_proto[proto] = (
+                self.packets_by_proto.get(proto, 0) + int(pkts[j]))
+            self.bytes_by_proto[proto] = (
+                self.bytes_by_proto.get(proto, 0) + int(octets[j]))
+        self.rate.add(ctx.now, n)
+        self.byte_rate.add(ctx.now, int(sizes.sum()))
+
 
 class TriggerComponent(Component):
     """Fire an event when a traffic condition exceeds a threshold
@@ -336,6 +383,14 @@ class TriggerComponent(Component):
     ``predicate`` selects which packets count; when the windowed rate
     crosses ``threshold_pps`` the ``action`` callback runs once; the
     trigger re-arms after the rate falls below ``threshold_pps * rearm``.
+
+    ``track_sources`` (> 0) adds a heavy-hitter stream: a SpaceSaving
+    tracker over source addresses, reset each tumbling window, so a
+    firing identifies *who* is offending (``last_sources``), not just the
+    aggregate rate.  With ``per_source_threshold`` set, the trigger also
+    fires once per source whose own windowed rate exceeds it — the
+    "rate of connection attempts from ... a particular server" reading
+    of Sec. 4.4 — independent of the aggregate threshold.
     """
 
     capabilities = Capabilities(extra_traffic_bps=1_000.0)
@@ -343,30 +398,76 @@ class TriggerComponent(Component):
     def __init__(self, name: str, threshold_pps: float,
                  action: Callable[[ComponentContext, float], None],
                  predicate: Optional[Callable[[Packet], bool]] = None,
-                 window: float = 0.5, rearm: float = 0.5) -> None:
+                 window: float = 0.5, rearm: float = 0.5,
+                 track_sources: int = 0,
+                 per_source_threshold: Optional[float] = None,
+                 hh_min_share: float = 0.05) -> None:
         super().__init__(name)
         if threshold_pps <= 0:
             raise ReproError(f"trigger threshold must be > 0, got {threshold_pps}")
+        if per_source_threshold is not None and track_sources <= 0:
+            raise ReproError("per_source_threshold requires track_sources > 0")
         self.threshold_pps = threshold_pps
         self.action = action
         self.predicate = predicate
         self.window = WindowedCounter(window)
+        self.window_span = float(window)
         self.rearm = rearm
         self.armed = True
         self.fired = 0
         self.fired_at: list[float] = []
+        self.sources = SpaceSaving(track_sources) if track_sources > 0 else None
+        self.per_source_threshold = per_source_threshold
+        self.hh_min_share = hh_min_share
+        #: sources identified at the most recent firing
+        self.last_sources: tuple[int, ...] = ()
+        self._fired_sources: set[int] = set()
+        self._epoch: Optional[float] = None
+        self._m_hh = None
+
+    def _fire(self, ctx: ComponentContext, rate: float,
+              sources: tuple[int, ...]) -> None:
+        self.fired += 1
+        self.fired_at.append(ctx.now)
+        self.last_sources = sources
+        if sources:
+            if self._m_hh is None:
+                # triggers on one device share the asn series: join the
+                # running total rather than zeroing a namesake's count
+                self._m_hh = _HEAVY_HITTERS.labelled(fresh=False,
+                                                     asn=str(ctx.asn))
+            self._m_hh.value += len(sources)
+        self.action(ctx, rate)
 
     def process(self, packet: Packet, ctx: ComponentContext) -> Verdict:
         if self.predicate is None or self.predicate(packet):
             self.window.add(ctx.now)
+            tracker = self.sources
+            if tracker is not None:
+                epoch = ctx.now // self.window_span if self.window_span > 0 else 0.0
+                if epoch != self._epoch:
+                    self._epoch = epoch
+                    tracker.clear()
+                tracker.update(int(packet.src))
             rate = self.window.rate(ctx.now)
             if self.armed and rate > self.threshold_pps:
                 self.armed = False
-                self.fired += 1
-                self.fired_at.append(ctx.now)
-                self.action(ctx, rate)
+                hitters: tuple[int, ...] = ()
+                if tracker is not None:
+                    hitters = tuple(
+                        k for k, _c in tracker.heavy_hitters(self.hh_min_share))
+                    self._fired_sources.update(hitters)
+                self._fire(ctx, rate, hitters)
             elif not self.armed and rate < self.threshold_pps * self.rearm:
                 self.armed = True
+            if (self.per_source_threshold is not None
+                    and tracker is not None):
+                src = int(packet.src)
+                if src not in self._fired_sources and self.window_span > 0:
+                    src_rate = tracker.estimate(src) / self.window_span
+                    if src_rate > self.per_source_threshold:
+                        self._fired_sources.add(src)
+                        self._fire(ctx, src_rate, (src,))
         return Verdict.PASS
 
 

@@ -538,8 +538,35 @@ class AdaptiveDevice:
         # process() (one extra hit) before running its stages
         self._m_redirected.value += n_wanted
         self._m_fc_hits.value += n_wanted
+
+        # vectorised observer fast path: flows whose every active stage
+        # graph is a pure-observer chain (statistics/sketch collectors —
+        # see ComponentGraph.batch_plan) skip per-packet materialisation
+        # entirely: one vectorised update per component per sub-batch.
+        # Flows with filtering/limiting stages take the scalar residue.
+        residual = wanted.copy()
+        groups: dict[tuple, list[int]] = {}
+        for j in range(n_unique):
+            if not wants_flow[j]:
+                continue
+            src_owner, dst_owner, _ = entries[j]
+            gkey = (None if src_owner is None else src_owner.user_id,
+                    None if dst_owner is None else dst_owner.user_id)
+            groups.setdefault(gkey, []).append(j)
+        for flow_js in groups.values():
+            src_owner, dst_owner, _ = entries[flow_js[0]]
+            stage_plans = self._batch_stage_plans(src_owner, dst_owner)
+            if stage_plans is None:
+                continue
+            member = np.zeros(n_unique, dtype=bool)
+            member[flow_js] = True
+            in_group = member[inverse] & wanted
+            self._observe_batch(batch, np.nonzero(in_group)[0], stage_plans,
+                                now, ingress_asn)
+            residual &= ~in_group
+
         keep = np.ones(n, dtype=bool)
-        for i in np.nonzero(wanted)[0]:
+        for i in np.nonzero(residual)[0]:
             i = int(i)
             src_owner, dst_owner, _ = entries[int(inverse[i])]
             pkt = batch.packet_at(i)
@@ -554,6 +581,68 @@ class AdaptiveDevice:
         dropped = batch.select(~keep)
         passed = batch.select(keep) if keep.any() else None
         return passed, dropped
+
+    def _batch_stage_plans(self, src_owner: Optional[NetworkUser],
+                           dst_owner: Optional[NetworkUser]
+                           ) -> Optional[list[tuple]]:
+        """Pure-observer batch plans for both stages of one owner pair.
+
+        Returns ``(owner, stage, instance, graph, plan)`` per active stage
+        graph, in scalar stage order — or ``None`` when any stage needs
+        the per-packet verdict walk (the scalar residue then keeps exact
+        drop/limit semantics).
+        """
+        stages = [(src_owner, "source"), (dst_owner, "dest")]
+        if self.stage_order == "dst-first":  # E13 ablation only
+            stages.reverse()
+        plans: list[tuple] = []
+        for owner, stage in stages:
+            if owner is None:
+                continue
+            instance = self.services.get(owner.user_id)
+            if (instance is None or not instance.active
+                    or instance.disabled_for_violation):
+                continue
+            graph = (instance.src_graph if stage == "source"
+                     else instance.dst_graph)
+            if graph is None:
+                continue
+            plan = graph.batch_plan()
+            if plan is None:
+                return None
+            plans.append((owner, stage, instance, graph, plan))
+        return plans
+
+    def _observe_batch(self, batch: "PacketBatch", rows: np.ndarray,
+                       stage_plans: list[tuple], now: float,
+                       ingress_asn: Optional[int]) -> None:
+        """Feed ``batch[rows]`` through pure-observer stage graphs.
+
+        Counter parity with the scalar walk is exact: the graph/component/
+        safety-monitor tallies advance by the same totals, and since the
+        plans admit neither drops nor mutations every packet passes
+        unchanged (which is why the per-packet monitor snapshot can be
+        replaced by the aggregate in == out accounting).
+        """
+        if len(rows) == 0:
+            return
+        local_origin = ingress_asn is None
+        n = len(rows)
+        total_bytes = int(batch.size[rows].sum())
+        for owner, stage, instance, graph, plan in stage_plans:
+            ctx = ComponentContext(
+                now=now, asn=self.context.asn,
+                is_transit=self.context.is_transit,
+                local_prefix=self.context.local_prefix, stage=stage,
+                owner=owner, ingress_asn=ingress_asn,
+                local_origin=local_origin,
+            )
+            monitor = instance.monitor
+            monitor.packets_in += n
+            monitor.bytes_in += total_bytes
+            graph.process_batch(batch, rows, ctx, plan)
+            monitor.packets_out += n
+            monitor.bytes_out += total_bytes
 
     def _run_stage(self, packet: Packet, owner: NetworkUser, stage: str,
                    now: float, ingress_asn: Optional[int],

@@ -16,10 +16,11 @@ from repro.scenario import AttackSpec, ScenarioSpec, TopologySpec
 from repro.scenario.tcs import build_tcs_world
 from repro.util.tables import Table
 
-__all__ = ["run", "trigger_table"]
+__all__ = ["run", "trigger_table", "heavy_hitter_table"]
 
 
-def _run_once(cfg: ExperimentConfig, threshold: float | None):
+def _run_once(cfg: ExperimentConfig, threshold: float | None,
+              **app_kwargs):
     built = ScenarioSpec(
         name="e10-triggers", seed=cfg.seed,
         topology=TopologySpec(kind="hierarchical", n_core=2,
@@ -38,7 +39,8 @@ def _run_once(cfg: ExperimentConfig, threshold: float | None):
         app = AutoReactionApp(world.service, threshold_pps=threshold,
                               limit_bps=4e5, window=0.2,
                               predicate=lambda p: (p.proto is Protocol.UDP
-                                                   and p.dport != 80))
+                                                   and p.dport != 80),
+                              **app_kwargs)
         # react on every device along the way, not only at the victim
         app.deploy(DeploymentScope.everywhere())
     metrics = sc.run()
@@ -67,6 +69,41 @@ def trigger_table(cfg: ExperimentConfig) -> Table:
     return table
 
 
+def heavy_hitter_table(cfg: ExperimentConfig) -> Table:
+    """Triggers with a SpaceSaving heavy-hitter stream (Sec. 4.4).
+
+    ``aggregate`` is the baseline trigger (fires on total rate, limits all
+    matching traffic); ``hh-identify`` attaches the source tracker so each
+    firing names the offending sources and the limiter narrows to them;
+    ``hh-per-source`` additionally fires once per source whose own rate
+    crosses the threshold.
+    """
+    table = Table(
+        "E10b: heavy-hitter triggers identify offending sources (Sec. 4.4)",
+        ["mode", "fired", "sources_identified", "attacker_recall",
+         "limited_pkts", "legit_goodput"],
+    )
+    modes = (
+        ("aggregate", {}),
+        ("hh-identify", {"heavy_hitter_k": 64}),
+        ("hh-per-source", {"heavy_hitter_k": 64, "per_source": True}),
+    )
+    for mode, kwargs in modes:
+        sc, app, metrics = _run_once(cfg, threshold=500.0, **kwargs)
+        true_sources = {int(h.address) for h in sc.agents}
+        found = app.offending_sources()
+        recall = (len(found & true_sources) / len(true_sources)
+                  if true_sources else 0.0)
+        table.add_row(mode, app.fired, len(found), round(recall, 2),
+                      app.limited_packets(),
+                      round(metrics.legit_goodput, 3))
+    table.add_note("the SpaceSaving tracker keeps O(64) state per trigger "
+                   "regardless of attacker fan-in; identified sources let "
+                   "the reaction limit offenders instead of every matching "
+                   "flow")
+    return table
+
+
 @register("E10")
 def run(cfg: ExperimentConfig) -> list[Table]:
-    return [trigger_table(cfg)]
+    return [trigger_table(cfg), heavy_hitter_table(cfg)]

@@ -40,7 +40,7 @@ from repro.util.units import Mbps, ms
 
 __all__ = ["run", "rules_vs_subscribers_table", "rules_vs_hosts_table",
            "device_cost_table", "flow_cache_table", "caida_scale_table",
-           "batch_forwarding_table", "build_device"]
+           "batch_forwarding_table", "sketch_accuracy_table", "build_device"]
 
 
 def rules_vs_subscribers_table(cfg: ExperimentConfig) -> Table:
@@ -239,8 +239,57 @@ def batch_forwarding_table(cfg: ExperimentConfig) -> Table:
     return table
 
 
+def sketch_accuracy_table(cfg: ExperimentConfig) -> Table:
+    """Flow-statistics backends: state bytes vs accuracy across fan-in.
+
+    The Sec. 5.3 claim applied to the statistics service: exact per-flow
+    state grows linearly with attacker fan-in, while the sketch backends
+    hold state constant and pay with bounded count error.  Keys follow a
+    zipf-like source popularity (heavy hitters plus a long tail), the
+    adversarial-but-realistic regime for top-k tracking.
+    """
+    from repro.core.flowstats import make_flow_stats
+
+    table = Table(
+        "E6g: flow-statistics backends — state vs accuracy across fan-in",
+        ["backend", "fan_in", "state_bytes", "top10_recall",
+         "mean_rel_err_%"],
+    )
+    fan_ins = (1000, 10_000, cfg.scaled(100_000, minimum=20_000))
+    for fan_in in fan_ins:
+        rng = derive_rng(cfg.seed, "e6g", fan_in)
+        n = 4 * fan_in
+        weights = 1.0 / np.arange(1, fan_in + 1, dtype=np.float64) ** 1.1
+        weights /= weights.sum()
+        keys = rng.choice(fan_in, size=n, p=weights).astype(np.int64)
+        sizes = rng.integers(40, 1500, size=n).astype(np.int64)
+        true_keys, true_counts = np.unique(keys, return_counts=True)
+        order = np.lexsort((true_keys, -true_counts))
+        top_true = {int(true_keys[i]) for i in order[:10]}
+        for kind in ("exact", "bloom", "cmsketch", "countsketch"):
+            stats = make_flow_stats(kind, seed=cfg.seed)
+            stats.add_batch(keys, nbytes=sizes)
+            top_est = {k for k, _ in stats.top(10, by="packets")}
+            recall = len(top_true & top_est) / 10 if top_est else 0.0
+            errs = [abs(stats.packet_count(int(true_keys[i]))
+                        - int(true_counts[i])) / int(true_counts[i])
+                    for i in order[:10]]
+            table.add_row(kind, fan_in, stats.state_bytes(),
+                          round(recall, 2),
+                          round(100 * float(np.mean(errs)), 2))
+    table.add_note("exact state grows linearly with fan-in; the sketches "
+                   "(and the bloom counter) stay constant — a bloom filter "
+                   "cannot enumerate keys at all, so its top-10 recall is 0 "
+                   "by construction")
+    table.add_note("count-min errors are overestimate-only (eps*N bound); "
+                   "count-sketch errors are unbiased and typically smaller "
+                   "on skewed streams")
+    return table
+
+
 @register("E6")
 def run(cfg: ExperimentConfig) -> list[Table]:
     return [rules_vs_subscribers_table(cfg), rules_vs_hosts_table(cfg),
             device_cost_table(cfg), flow_cache_table(cfg),
-            caida_scale_table(cfg), batch_forwarding_table(cfg)]
+            caida_scale_table(cfg), batch_forwarding_table(cfg),
+            sketch_accuracy_table(cfg)]

@@ -23,6 +23,8 @@ EMITTING_MODULES = (
     "repro.net.faults",
     "repro.core.device",
     "repro.core.rpc",
+    "repro.core.components",
+    "repro.core.apps.statistics",
     "repro.scenario.metrics",
 )
 

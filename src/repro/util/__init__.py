@@ -1,5 +1,5 @@
 """Shared utilities: deterministic RNG, units, token buckets, Bloom filters,
-summary statistics and plain-text result tables."""
+count sketches, summary statistics and plain-text result tables."""
 
 from repro.util.rng import derive_rng, spawn_rngs
 from repro.util.units import (
@@ -16,6 +16,12 @@ from repro.util.units import (
 )
 from repro.util.tokenbucket import TokenBucket
 from repro.util.bloom import BloomFilter
+from repro.util.sketch import (
+    CountingBloom,
+    CountMinSketch,
+    CountSketch,
+    SpaceSaving,
+)
 from repro.util.stats import OnlineStats, WindowedCounter
 from repro.util.tables import Table
 
@@ -34,6 +40,10 @@ __all__ = [
     "fmt_rate",
     "TokenBucket",
     "BloomFilter",
+    "CountMinSketch",
+    "CountSketch",
+    "CountingBloom",
+    "SpaceSaving",
     "OnlineStats",
     "WindowedCounter",
     "Table",

@@ -51,10 +51,19 @@ class BloomFilter:
         ks = np.arange(self.n_hashes, dtype=np.uint64)
         return ((h1 + ks * h2) % np.uint64(self.n_bits)).astype(np.int64)
 
-    def add(self, item: bytes) -> None:
-        """Insert ``item`` (no-op on the bit array if already present)."""
-        self._bits[self._indices(item)] = True
-        self.count += 1
+    def add(self, item: bytes) -> bool:
+        """Insert ``item``; returns True when any bit was newly set.
+
+        A duplicate insert (or a full hash collision with earlier items)
+        flips no bit, so it no longer inflates ``count`` — keeping the
+        saturation/capacity estimates honest under repeated inserts.
+        """
+        idx = self._indices(item)
+        novel = not self._bits[idx].all()
+        if novel:
+            self._bits[idx] = True
+            self.count += 1
+        return novel
 
     def __contains__(self, item: bytes) -> bool:
         return bool(self._bits[self._indices(item)].all())

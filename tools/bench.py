@@ -57,11 +57,21 @@ BENCH_FIELDS = {"median_s": "median", "mean_s": "mean",
 #: the name, so dashboards can sweep the batch dimension.
 _BATCH_NAME = re.compile(r"^(?P<base>test_batch_\w+)\[(?P<batch>\d+)\]$")
 
+#: Sketch benchmarks publish ``bench.sketch.<field>`` gauges the same
+#: way, so the flow-statistics dimension stays separable from the
+#: forwarding-path one on dashboards.
+_SKETCH_NAME = re.compile(r"^(?P<base>test_sketch_\w+)\[(?P<batch>\d+)\]$")
+
 #: The scalar/batched pair the perf-smoke ratio compares, with the
 #: packets each moves per round (the scalar benchmark sends 500 packets;
 #: the batch one sends its batch size).
 SCALAR_BENCH = ("test_packet_forwarding_path", 500)
 BATCH_BENCH = ("test_batch_forwarding_path", 1024)
+
+#: Same shape for flow statistics: the exact per-packet Counter path vs
+#: one vectorised Count-Min update of a 1024-key batch.
+SKETCH_SCALAR_BENCH = ("test_sketch_scalar_update", 500)
+SKETCH_BATCH_BENCH = ("test_sketch_batch_update", 1024)
 
 
 def run_benchmarks(pytest_args: list[str]) -> dict:
@@ -87,12 +97,19 @@ def to_registry(raw: dict) -> MetricRegistry:
     for bench in sorted(raw.get("benchmarks", []), key=lambda b: b["name"]):
         stats = bench["stats"]
         batched = _BATCH_NAME.match(bench["name"])
+        sketched = _SKETCH_NAME.match(bench["name"])
         for field, source in BENCH_FIELDS.items():
             if batched:
                 registry.gauge(f"bench.batch.{field}",
                                help=f"pytest-benchmark {field} per batch size",
                                benchmark=batched["base"],
                                batch=batched["batch"]).set(stats[source])
+            elif sketched:
+                registry.gauge(f"bench.sketch.{field}",
+                               help=f"pytest-benchmark {field} per sketch "
+                                    "batch size",
+                               benchmark=sketched["base"],
+                               batch=sketched["batch"]).set(stats[source])
             else:
                 registry.gauge(f"bench.{field}",
                                help=f"pytest-benchmark {field} per benchmark",
@@ -105,8 +122,8 @@ def normalize(raw: dict) -> dict:
     registry = to_registry(raw)
     benchmarks: dict[str, dict] = {}
     for name, _kind, labels, value in registry.samples(include_timing=True):
-        if name.startswith("bench.batch."):
-            field = name[len("bench.batch."):]
+        if name.startswith(("bench.batch.", "bench.sketch.")):
+            field = name.split(".", 2)[2]
             key = f"{labels['benchmark']}[{labels['batch']}]"
         else:
             field = name.split(".", 1)[1]
@@ -125,8 +142,11 @@ def normalize(raw: dict) -> dict:
 def schema_of(normalized: dict) -> dict:
     """The name-level shape of a snapshot: metric names + benchmark names."""
     metrics = [f"bench.{field}" for field in sorted(BENCH_FIELDS)]
-    if any("[" in name for name in normalized["benchmarks"]):
+    names = normalized["benchmarks"]
+    if any(_BATCH_NAME.match(name) for name in names):
         metrics += [f"bench.batch.{field}" for field in sorted(BENCH_FIELDS)]
+    if any(_SKETCH_NAME.match(name) for name in names):
+        metrics += [f"bench.sketch.{field}" for field in sorted(BENCH_FIELDS)]
     return {
         "metrics": sorted(metrics),
         "benchmarks": sorted(normalized["benchmarks"]),
@@ -147,6 +167,20 @@ def batch_ratio(normalized: dict) -> float | None:
     if not scalar or not batched:
         return None
     return ((scalar["median_s"] / scalar_packets)
+            / (batched["median_s"] / batch_size))
+
+
+def sketch_ratio(normalized: dict) -> float | None:
+    """Exact-scalar vs batched-sketch per-key update ratio (>1 = sketch
+    batching wins).  ``None`` when either benchmark is absent."""
+    scalar_name, scalar_keys = SKETCH_SCALAR_BENCH
+    batch_base, batch_size = SKETCH_BATCH_BENCH
+    benches = normalized["benchmarks"]
+    scalar = benches.get(scalar_name)
+    batched = benches.get(f"{batch_base}[{batch_size}]")
+    if not scalar or not batched:
+        return None
+    return ((scalar["median_s"] / scalar_keys)
             / (batched["median_s"] / batch_size))
 
 
@@ -211,6 +245,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail unless the batched forwarding path is at "
                              "least MIN times faster per packet than the "
                              "scalar one (perf-smoke regression guard)")
+    parser.add_argument("--check-sketch-ratio", type=float, metavar="MIN",
+                        help="fail unless the batched sketch update is at "
+                             "least MIN times faster per key than the exact "
+                             "per-packet Counter path")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest (prefix "
                              "with -- to separate)")
@@ -253,6 +291,19 @@ def main(argv: list[str] | None = None) -> int:
         if ratio < args.check_batch_ratio:
             print(f"batch ratio: {ratio:.2f} below floor "
                   f"{args.check_batch_ratio:g} — batched data plane "
+                  "regressed", file=sys.stderr)
+            return 1
+    if args.check_sketch_ratio is not None:
+        ratio = sketch_ratio(normalized)
+        if ratio is None:
+            print("sketch ratio: scalar or batched sketch benchmark "
+                  "missing from this run", file=sys.stderr)
+            return 1
+        print(f"sketch ratio: batched sketch update is {ratio:.1f}x the "
+              f"exact per-key rate (floor {args.check_sketch_ratio:g}x)")
+        if ratio < args.check_sketch_ratio:
+            print(f"sketch ratio: {ratio:.2f} below floor "
+                  f"{args.check_sketch_ratio:g} — vectorised sketch path "
                   "regressed", file=sys.stderr)
             return 1
     if args.compare:

@@ -127,8 +127,13 @@ attached"; rules derive from "the tens of thousands of subscribers".
 subscriber here) and are flat in the host population; the per-packet
 redirect decision (one longest-prefix-match lookup) costs ~2 us regardless
 of the subscriber count, and unowned traffic pays only that check
-("Most traffic will use the direct path through the router").""",
-  ["E6a", "E6b", "E6c"]),
+("Most traffic will use the direct path through the router").  E6g
+extends the same state-vs-population argument to flow *statistics*: the
+exact per-flow backend grows linearly with attacker fan-in while the
+sketch backends (Count-Min, Count-Sketch, counting Bloom) hold constant
+state with top-10 heavy-hitter recall >= 0.9 — statistics memory, like
+rule count, need not scale with the host population.""",
+  ["E6a", "E6b", "E6c", "E6d", "E6e", "E6f", "E6g"]),
  ("E7", "Sec. 5.1 / Figs. 3-5 — control plane", """**Claims.** "Only a single service registration is needed instead of a
 separate one with each ISP"; the direct NMS path works "if the network
 conditions are such that the TCSP can no longer be reached, e.g. because
@@ -169,8 +174,12 @@ that rate limits the anomalous traffic could be activated."
 **Measured.** Pre-armed triggers detect the flood in 20-110 ms (faster at
 lower thresholds), activate the pre-installed rate limiter on each firing
 device, cut attack delivery by up to 27x, and — because the limiter
-targets only the anomalous traffic class — leave legit goodput at 100%.""",
-  ["E10"]),
+targets only the anomalous traffic class — leave legit goodput at 100%.
+E10b attaches a SpaceSaving heavy-hitter tracker to the trigger window:
+each firing then *names* the offending sources (attacker recall 1.0 with
+O(64) state per trigger) and the reaction narrows from "all matching
+traffic" to the identified offenders.""",
+  ["E10", "E10b"]),
  ("E11", "Sec. 4.4 — network debugging", """**Claim.** "Link delays or packet loss on intermediate links could be
 measured for network debugging purposes."
 
@@ -249,7 +258,7 @@ def parse_blocks(text: str) -> dict[str, str]:
     blocks: dict[str, str] = {}
     current_key, buf = None, []
     for line in io.StringIO(text):
-        m = re.match(r"\*\*(E\d+[a-d]?):", line)
+        m = re.match(r"\*\*(E\d+[a-g]?):", line)
         if m:
             if current_key:
                 blocks[current_key] = "".join(buf).strip()
