@@ -41,7 +41,14 @@ from repro.core.safety import SafetyMonitor, vet_component, vet_graph
 from repro.core.device import AdaptiveDevice, DeviceContext, ServiceInstance
 from repro.core.nms import DesiredService, IspNms
 from repro.core.rpc import CircuitBreaker, ControlChannel, RetryPolicy, RpcStats
-from repro.core.tcsp import Tcsp, IspContract
+from repro.core.storage import (
+    InMemoryBackend,
+    ReplicatedBackend,
+    StorageBackend,
+    StoreLog,
+    StoreTable,
+)
+from repro.core.tcsp import Tcsp, IspContract, TcspReplicaSet
 from repro.core.deployment import DeploymentScope
 from repro.core.service import TrafficControlService
 from repro.core.stateful import StatefulTeardownFilter, TimingAnomalyFilter
@@ -82,6 +89,12 @@ __all__ = [
     "RpcStats",
     "Tcsp",
     "IspContract",
+    "TcspReplicaSet",
+    "StorageBackend",
+    "InMemoryBackend",
+    "ReplicatedBackend",
+    "StoreTable",
+    "StoreLog",
     "DeploymentScope",
     "TrafficControlService",
     "StatefulTeardownFilter",

@@ -32,6 +32,7 @@ from repro.core.device import AdaptiveDevice, DeviceContext, attach_device
 from repro.core.graph import ComponentGraph
 from repro.core.ownership import NetworkUser, OwnershipRegistry
 from repro.core.rpc import ControlChannel
+from repro.core.storage import InMemoryBackend, StorageBackend, StoreTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
@@ -62,7 +63,8 @@ class IspNms:
     """The network management system of one ISP (a set of ASes)."""
 
     def __init__(self, isp_id: str, network: "Network", asns: Iterable[int],
-                 ca: CertificateAuthority) -> None:
+                 ca: CertificateAuthority,
+                 store: Optional[StorageBackend] = None) -> None:
         self.isp_id = isp_id
         self.network = network
         self.asns: set[int] = set(asns)
@@ -79,8 +81,13 @@ class IspNms:
             f"nms:{isp_id}", clock=lambda: network.sim.now,
             down_fn=lambda: self.partitioned,
         )
+        #: storage backend the desired state lives on (DESIGN.md §9);
+        #: process-local memory by default — which a shard crash wipes
+        self.store: StorageBackend = store if store is not None \
+            else InMemoryBackend()
+        self._desired_table = f"nms.{isp_id}.desired"
         #: desired per-user deployment state (anti-entropy source of truth)
-        self.desired: dict[str, DesiredService] = {}
+        self.desired: StoreTable = StoreTable(self.store, self._desired_table)
         # watchdog / reconciliation state
         self._watchdog_event = None
         self._seen_restarts: dict[int, int] = {}
@@ -89,6 +96,9 @@ class IspNms:
         self.reconciliations = 0
         self.services_reinstalled = 0
         self.forward_failures = 0
+        #: shard-crash lifecycle (fault injection)
+        self.nms_crashes = 0
+        self.desired_lost_in_crashes = 0
 
     # ----------------------------------------------------------------- devices
     def attach_devices(self, asns: Optional[Iterable[int]] = None) -> None:
@@ -98,6 +108,12 @@ class IspNms:
                 raise DeploymentError(f"{self.isp_id}: AS {asn} is not ours")
             if asn not in self.devices:
                 self.devices[asn] = attach_device(self.network, asn, self.registry)
+                if self._watchdog_event is not None:
+                    # a running watchdog must baseline the restart counter
+                    # *now*: a crash+restart of this late-attached device
+                    # before its first heartbeat would otherwise be
+                    # invisible to anti-entropy
+                    self._seen_restarts[asn] = self.devices[asn].restarts
 
     def device_at(self, asn: int) -> AdaptiveDevice:
         try:
@@ -128,7 +144,11 @@ class IspNms:
                     f"user {user.user_id!r} claims prefix {prefix} outside "
                     f"its certificate"
                 )
-        if self.registry.owner_of(user.prefixes[0].first) is None:
+        if any(self.registry.owner_of(prefix.first) is None
+               for prefix in user.prefixes):
+            # (re-)register whenever ANY claimed prefix is missing — a user
+            # whose first prefix was registered earlier can still bring new
+            # prefixes that need ownership entries of their own
             self.registry.register(user)
         configured = []
         for asn in sorted(set(target_asns) & self.asns):
@@ -264,6 +284,45 @@ class IspNms:
             if device.restarts != self._seen_restarts.get(asn, device.restarts):
                 self.reconcile_device(asn)
             self._seen_restarts[asn] = device.restarts
+
+    def reconcile_all(self) -> int:
+        """Anti-entropy over every attached (live) device; returns the
+        total number of re-installed services."""
+        total = 0
+        for asn in sorted(self.devices):
+            total += self.reconcile_device(asn)
+        return total
+
+    # ------------------------------------------------------ crash / restart
+    def crash(self) -> None:
+        """The NMS process itself dies (an NMS-shard crash, E16e).
+
+        The shard becomes unreachable and all *volatile* state dies with
+        the process: watchdog liveness baselines always, and the desired
+        state too when the storage backend is process-local
+        (``store.durable`` False).  A durable backend — the replicated
+        store — keeps the desired state, which is exactly the property the
+        shard-crash sweep measures.
+        """
+        self.nms_crashes += 1
+        self.partitioned = True
+        self._seen_restarts = {}
+        if not self.store.durable:
+            self.desired_lost_in_crashes += len(self.desired)
+            self.store.clear(self._desired_table)
+
+    def restart(self) -> None:
+        """The NMS shard comes back and rejoins the control plane.
+
+        Whatever desired state survived (everything on a durable backend,
+        nothing on a process-local one) is immediately replayed against
+        the devices — one full anti-entropy pass — and the watchdog
+        baselines are re-learned so later crashes are detected normally.
+        """
+        self.partitioned = False
+        self.reconcile_all()
+        self._seen_restarts = {asn: dev.restarts
+                               for asn, dev in self.devices.items()}
 
     def reconcile_device(self, asn: int) -> int:
         """Anti-entropy: re-install every desired service missing from the

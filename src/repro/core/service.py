@@ -16,7 +16,7 @@ from repro.core.certificates import OwnershipCertificate
 from repro.core.deployment import DeploymentScope
 from repro.core.nms import GraphFactory, IspNms
 from repro.core.ownership import NetworkUser
-from repro.core.tcsp import Tcsp
+from repro.core.tcsp import Tcsp, TcspReplicaSet
 
 __all__ = ["TrafficControlService"]
 
@@ -25,7 +25,7 @@ class TrafficControlService:
     """One registered user's handle on the distributed traffic control
     service."""
 
-    def __init__(self, tcsp: Tcsp, user: NetworkUser,
+    def __init__(self, tcsp: "Tcsp | TcspReplicaSet", user: NetworkUser,
                  cert: OwnershipCertificate,
                  home_nms: Optional[IspNms] = None) -> None:
         self.tcsp = tcsp

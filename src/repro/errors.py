@@ -27,6 +27,7 @@ __all__ = [
     "RetryExhausted",
     "FaultConfigError",
     "MetricError",
+    "StorageError",
 ]
 
 
@@ -112,3 +113,8 @@ class FaultConfigError(ReproError):
 class MetricError(ReproError):
     """Telemetry misuse: conflicting metric declaration, unknown kind, or
     a label-cardinality budget exceeded (:mod:`repro.obs`)."""
+
+
+class StorageError(ReproError):
+    """Control-plane storage backend misuse (unknown replica, bad
+    configuration) — :mod:`repro.core.storage`."""

@@ -17,6 +17,15 @@ that is filtering a live UDP flood, and measuring
 * control-plane work: retries, message drops, direct-NMS failovers,
   reconciliations.
 
+E16e/E16f extend the chaos to the control plane's *state*: the TCSP runs
+as a replica set over a shared :mod:`~repro.core.storage` backend, and a
+fault plan crashes the primary TCSP, one NMS shard and one storage
+replica mid-run.  E16e contrasts process-local memory (the crashed
+shard's desired state is wiped) with the replicated store (a promoted
+standby and the restarted NMS reconcile back to full deployment — zero
+permanently lost records after heal); E16f tracks the replica set's
+convergence window by window.
+
 All randomness derives from ``(cfg.seed, level)``, so the sweep is
 byte-identical between :func:`run_all` and :func:`run_parallel`, and two
 runs at the same seed produce identical tables.
@@ -27,19 +36,25 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.attack.flood import DirectFlood, TrafficGenerator
-from repro.core import ComponentGraph, DeploymentScope
+from repro.core import (
+    ComponentGraph,
+    DeploymentScope,
+    InMemoryBackend,
+    ReplicatedBackend,
+)
 from repro.core.components import HeaderFilter, HeaderMatch
+from repro.core.storage import StorageBackend
 from repro.errors import ControlPlaneUnavailable
 from repro.experiments.common import ExperimentConfig, parallel_map, register
 from repro.net import ASRole, Network, Packet, Protocol
-from repro.net.faults import FaultInjector
+from repro.net.faults import Fault, FaultInjector, FaultKind, FaultPlan
 from repro.scenario import FaultSpec, TopologySpec
 from repro.scenario.tcs import build_tcs_world
 from repro.util.rng import derive_rng
 from repro.util.tables import Table
 
 __all__ = ["run", "sweep_table", "timeline_table", "control_path_table",
-           "fail_policy_table"]
+           "fail_policy_table", "shard_crash_table", "convergence_table"]
 
 HORIZON = 4.0          #: simulated seconds per trial
 WINDOW = 0.25          #: effectiveness sampling window
@@ -349,8 +364,171 @@ def fail_policy_table(cfg: ExperimentConfig) -> Table:
     return table
 
 
+STORE_HORIZON = 3.0    #: simulated seconds for the E16e/E16f store trials
+
+
+def _store_world(seed: int, backend: str):
+    """A 3-ISP TCS world with a TCSP standby and a selectable storage
+    backend (control plane only — no traffic; E16e/E16f measure state)."""
+    net = Network(TopologySpec(kind="hierarchical", n_core=2,
+                               transit_per_core=2,
+                               stub_per_transit=6).build(seed))
+    store: StorageBackend
+    if backend == "replicated":
+        replicated = ReplicatedBackend(3, seed=seed, replication_lag=0.02,
+                                       sim=net.sim)
+        replicated.start_anti_entropy(WINDOW)
+        store = replicated
+    else:
+        store = InMemoryBackend()
+    world = build_tcs_world(net, n_isps=3, service=True, home_nms_index=0,
+                            store=store, tcsp_standbys=1)
+    return net, world, store
+
+
+def _run_store_point(point: tuple) -> dict:
+    """One E16e backend trial (top-level so parallel_map can pickle it).
+
+    Timeline: the service deploys at t=0; the primary TCSP is unreachable
+    0.6-1.6 s (the replica set promotes the standby once the lease
+    lapses); storage replica 1 is down 0.7-1.6 s; the ``isp-1`` NMS
+    process crashes at 0.8 s — its volatile state dies with it — and
+    restarts at 1.6 s, reconciling from whatever its desired-state store
+    still holds.  Mid-crash control traffic (two activation toggles) keeps
+    writes flowing through the degraded store; undelivered relays are
+    resynced at 2.0 s.
+    """
+    backend, seed = point
+    net, world, store = _store_world(seed, backend)
+    tcsp, nmses, svc = world.tcsp, world.nmses, world.service
+    scope = DeploymentScope(roles=(ASRole.STUB,),
+                            exclude=frozenset({int(world.owner_asn)}))
+    svc.deploy(scope, dst_graph_factory=_drop_attack_factory)
+
+    def desired_count() -> int:
+        return sum(1 for n in nmses if world.owner in n.desired)
+
+    plan = FaultPlan([
+        Fault(FaultKind.TCSP_OUTAGE, 0.6, 1.0),
+        Fault(FaultKind.STORE_REPLICA_CRASH, 0.7, 0.9, (1,)),
+        Fault(FaultKind.NMS_SHARD_CRASH, 0.8, 0.8, ("isp-1",)),
+    ])
+    replicated = isinstance(store, ReplicatedBackend)
+    injector = FaultInjector(plan, net, tcsp=tcsp, nmses=nmses,
+                             store=store if replicated else None, seed=seed)
+    injector.arm()
+
+    desired_deploy = desired_count()
+    marks: dict[str, int] = {}
+    timeline: list[tuple] = []
+
+    def sample() -> None:
+        timeline.append((
+            net.sim.now,
+            store.live_replicas if replicated else len(nmses),
+            store.divergent_records() if replicated else 0,
+            store.lost_writes if replicated else 0,
+            store.repairs if replicated else 0,
+            desired_count(),
+        ))
+
+    net.sim.schedule_every(WINDOW, sample)
+
+    def toggle(active: bool) -> None:
+        try:
+            svc.set_active(active)
+        except ControlPlaneUnavailable:
+            pass
+
+    def mark_during() -> None:
+        marks["during"] = desired_count()
+
+    resynced: list[int] = []
+    net.sim.schedule_at(1.0, toggle, False)
+    net.sim.schedule_at(1.2, mark_during)
+    net.sim.schedule_at(1.3, toggle, True)
+    net.sim.schedule_at(2.0, lambda: resynced.append(tcsp.resync()))
+    net.run(until=STORE_HORIZON)
+    if replicated:
+        store.anti_entropy()
+    return {
+        "backend": backend,
+        "durable": store.durable,
+        "desired_deploy": desired_deploy,
+        "desired_during": marks.get("during", 0),
+        "desired_heal": desired_count(),
+        "lost_in_crash": sum(n.desired_lost_in_crashes for n in nmses),
+        "resynced": sum(resynced),
+        "tcsp_failovers": tcsp.failovers,
+        "relay_failures": tcsp.nms_relay_failures,
+        "failover_writes": store.failover_writes if replicated else 0,
+        "lost_writes": store.lost_writes if replicated else 0,
+        "stale_reads": store.stale_reads if replicated else 0,
+        "repairs": store.repairs if replicated else 0,
+        "perm_lost": store.permanently_lost() if replicated else None,
+        "timeline": timeline,
+    }
+
+
+def _store_points(cfg: ExperimentConfig) -> list[dict]:
+    points = [(backend, cfg.seed) for backend in ("memory", "replicated")]
+    return parallel_map(_run_store_point, points, workers=cfg.workers)
+
+
+def shard_crash_table(cfg: ExperimentConfig,
+                      results: Optional[list[dict]] = None) -> Table:
+    table = Table(
+        "E16e: desired-state survival across TCSP / NMS-shard / storage-"
+        "replica crashes (Sec. 5.1)",
+        ["backend", "durable", "desired_deploy", "desired_mid_crash",
+         "desired_healed", "wiped", "resynced", "tcsp_failovers",
+         "failover_writes", "lost_writes", "stale_reads", "perm_lost"],
+    )
+    results = results if results is not None else _store_points(cfg)
+    for r in results:
+        table.add_row(
+            r["backend"], r["durable"], r["desired_deploy"],
+            r["desired_during"], r["desired_heal"], r["lost_in_crash"],
+            r["resynced"], r["tcsp_failovers"], r["failover_writes"],
+            r["lost_writes"], r["stale_reads"],
+            r["perm_lost"] if r["perm_lost"] is not None else "-",
+        )
+    table.add_note("desired_* counts NMSes whose desired-state store still "
+                   "holds the subscriber's deployment; the isp-1 NMS process "
+                   "crashes mid-run (its process-local state dies), the "
+                   "primary TCSP is DDoSed (standby promoted on lease "
+                   "expiry), and storage replica 1 is down for 0.9 s")
+    table.add_note("the in-memory backend loses the crashed shard's desired "
+                   "entry permanently ('wiped'); the replicated store "
+                   "serves it from surviving replicas, so the restarted NMS "
+                   "reconciles back to full deployment and perm_lost = 0")
+    return table
+
+
+def convergence_table(cfg: ExperimentConfig,
+                      results: Optional[list[dict]] = None) -> Table:
+    table = Table(
+        "E16f: replicated-store consistency convergence under shard crashes",
+        ["t_s", "live_replicas", "divergent", "lost_writes", "repairs",
+         "desired_visible"],
+    )
+    results = results if results is not None else _store_points(cfg)
+    r = next(x for x in results if x["backend"] == "replicated")
+    for t, live, divergent, lost, repairs, desired in r["timeline"]:
+        table.add_row(round(t, 2), live, divergent, lost, repairs, desired)
+    table.add_note("divergent = records where a live replica lags the "
+                   "newest live version; anti-entropy runs every 0.25 s and "
+                   "repairs the crashed replica after its 1.6 s restart")
+    table.add_note(f"permanently lost records after heal + final "
+                   f"anti-entropy pass: {r['perm_lost']}")
+    return table
+
+
 @register("E16")
 def run(cfg: ExperimentConfig) -> list[Table]:
     results = _sweep_points(cfg)
+    store_results = _store_points(cfg)
     return [sweep_table(cfg, results), timeline_table(cfg, results),
-            control_path_table(cfg), fail_policy_table(cfg)]
+            control_path_table(cfg), fail_policy_table(cfg),
+            shard_crash_table(cfg, store_results),
+            convergence_table(cfg, store_results)]

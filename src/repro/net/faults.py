@@ -36,6 +36,7 @@ from repro.util.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.nms import IspNms
+    from repro.core.storage import ReplicatedBackend
     from repro.core.tcsp import Tcsp
     from repro.net.network import Network
 
@@ -61,6 +62,8 @@ class FaultKind(str, Enum):
     NMS_PARTITION = "nms-partition"    #: one ISP's NMS unreachable
     TCSP_OUTAGE = "tcsp-outage"        #: the TCSP itself unreachable (under DDoS)
     MESSAGE_LOSS = "message-loss"      #: control messages dropped with probability
+    STORE_REPLICA_CRASH = "store-replica-crash"  #: one storage replica down
+    NMS_SHARD_CRASH = "nms-shard-crash"  #: NMS process dies (volatile state lost)
 
 
 @dataclass(frozen=True)
@@ -129,15 +132,20 @@ class FaultPlan:
                device_asns: Sequence[int] = (),
                links: Sequence[tuple[int, int]] = (),
                nms_ids: Sequence[str] = (),
+               store_replicas: Sequence[int] = (),
                n_crashes: int = 0, n_flaps: int = 0, n_partitions: int = 0,
                n_loss_windows: int = 0, loss_rate: float = 0.5,
                tcsp_outages: int = 0,
+               n_store_crashes: int = 0, n_shard_crashes: int = 0,
                mean_downtime: float = 0.4) -> "FaultPlan":
         """Draw a plan from the seeded RNG.
 
         Fault starts land in ``[0.05, 0.55] * horizon`` and downtimes are
         clipped exponentials, so every fault clears well before the horizon
         — leaving a measurable recovery tail (E16's acceptance criterion).
+        New fault families draw *after* the pre-existing ones, so a plan
+        with all new knobs at zero is byte-identical to before they
+        existed.
         """
         if horizon <= 0:
             raise FaultConfigError(f"horizon must be > 0, got {horizon}")
@@ -167,6 +175,16 @@ class FaultPlan:
         for _ in range(n_loss_windows):
             faults.append(Fault(FaultKind.MESSAGE_LOSS, start(), downtime(),
                                 param=loss_rate))
+        for pool, n, kind in (
+            (list(store_replicas), n_store_crashes,
+             FaultKind.STORE_REPLICA_CRASH),
+            (list(nms_ids), n_shard_crashes, FaultKind.NMS_SHARD_CRASH),
+        ):
+            if n > 0 and not pool:
+                raise FaultConfigError(f"no targets available for {kind.value}")
+            for _ in range(n):
+                victim = pool[int(rng.integers(0, len(pool)))]
+                faults.append(Fault(kind, start(), downtime(), (victim,)))
         return cls(faults)
 
 
@@ -183,11 +201,13 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan, network: "Network", *,
                  tcsp: "Optional[Tcsp]" = None,
                  nmses: Iterable["IspNms"] = (),
+                 store: "Optional[ReplicatedBackend]" = None,
                  seed: int = 0) -> None:
         self.plan = plan
         self.network = network
         self.tcsp = tcsp
         self.nmses = list(nmses)
+        self.store = store
         self.seed = seed
         self._loss_rng = derive_rng(seed, "faults", "message-loss")
         self.armed = False
@@ -296,6 +316,20 @@ class FaultInjector:
             elif kind is FaultKind.TCSP_OUTAGE:
                 if self.tcsp is not None:
                     self.tcsp.reachable = False
+            elif kind is FaultKind.STORE_REPLICA_CRASH:
+                replica = int(fault.target[0])
+                if (self.store is None
+                        or replica >= self.store.n_replicas
+                        or not self.store.replica_up(replica)):
+                    self._m_skipped.value += 1
+                    return
+                self.store.crash_replica(replica)
+            elif kind is FaultKind.NMS_SHARD_CRASH:
+                nms = self._nms(fault.target[0])
+                if nms is None:
+                    self._m_skipped.value += 1
+                    return
+                nms.crash()
             # MESSAGE_LOSS is purely window-based: drop_message() consults
             # self.active, nothing to mutate here.
         except TopologyError:
@@ -329,6 +363,13 @@ class FaultInjector:
             if self.tcsp is not None and not any(
                     f.kind is FaultKind.TCSP_OUTAGE for f in self.active):
                 self.tcsp.reachable = True
+        elif kind is FaultKind.STORE_REPLICA_CRASH:
+            if self.store is not None:
+                self.store.restart_replica(int(fault.target[0]))
+        elif kind is FaultKind.NMS_SHARD_CRASH:
+            nms = self._nms(fault.target[0])
+            if nms is not None:
+                nms.restart()
 
     # -------------------------------------------------------------- messages
     def loss_rate_at(self, now: float) -> float:

@@ -198,6 +198,8 @@ class FaultSpec:
     tcsp_outages: int = 0
     n_loss_windows: int = 0
     loss_rate: float = 0.5
+    n_store_crashes: int = 0
+    n_shard_crashes: int = 0
     mean_downtime: float = 0.4
     horizon: float = 0.0
     seed_offset: int = 0
@@ -205,22 +207,27 @@ class FaultSpec:
     def plan(self, base_seed: int, *, horizon: float,
              device_asns: Sequence[int] = (),
              links: Sequence[tuple[int, int]] = (),
-             nms_ids: Sequence[str] = ()) -> FaultPlan:
+             nms_ids: Sequence[str] = (),
+             store_replicas: Sequence[int] = ()) -> FaultPlan:
         """Draw the concrete :class:`FaultPlan` for a built world."""
         return FaultPlan.random(
             base_seed + self.seed_offset,
             horizon=self.horizon or horizon,
             device_asns=device_asns, links=links, nms_ids=nms_ids,
+            store_replicas=store_replicas,
             n_crashes=self.n_crashes, n_flaps=self.n_flaps,
             n_partitions=self.n_partitions,
             n_loss_windows=self.n_loss_windows, loss_rate=self.loss_rate,
             tcsp_outages=self.tcsp_outages,
+            n_store_crashes=self.n_store_crashes,
+            n_shard_crashes=self.n_shard_crashes,
             mean_downtime=self.mean_downtime)
 
     @property
     def empty(self) -> bool:
         return not (self.n_crashes or self.n_flaps or self.n_partitions
-                    or self.tcsp_outages or self.n_loss_windows)
+                    or self.tcsp_outages or self.n_loss_windows
+                    or self.n_store_crashes or self.n_shard_crashes)
 
 
 @dataclass(frozen=True)

@@ -20,11 +20,13 @@ from typing import Optional, TYPE_CHECKING
 from repro.core import (
     NumberAuthority,
     Tcsp,
+    TcspReplicaSet,
     TrafficControlService,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.nms import IspNms
+    from repro.core.storage import StorageBackend
     from repro.net.network import Network
 
 __all__ = ["TcsWorld", "build_tcs_world"]
@@ -36,7 +38,7 @@ class TcsWorld:
 
     net: "Network"
     authority: NumberAuthority
-    tcsp: Tcsp
+    tcsp: "Tcsp | TcspReplicaSet"
     nmses: list = field(default_factory=list)
     owner: str = "acme"
     owner_asn: int = 0
@@ -55,7 +57,9 @@ def build_tcs_world(net: "Network", *, owner: str = "acme",
                     owner_asn: Optional[int] = None, n_isps: int = 1,
                     allocate: bool = True, register: bool = True,
                     service: bool = False,
-                    home_nms_index: Optional[int] = None) -> TcsWorld:
+                    home_nms_index: Optional[int] = None,
+                    store: "Optional[StorageBackend]" = None,
+                    tcsp_standbys: int = 0) -> TcsWorld:
     """Bootstrap the TCS control plane over an existing network.
 
     ``owner_asn`` defaults to the first stub AS (the usual victim);
@@ -63,9 +67,22 @@ def build_tcs_world(net: "Network", *, owner: str = "acme",
     ``register`` additionally creates the owner's user + certificate;
     ``service`` additionally builds the TrafficControlService (homed on
     ``nmses[home_nms_index]`` when given, else un-homed).
+
+    ``store`` selects the control-plane storage backend (default:
+    process-local memory, byte-identical to the pre-storage-layer
+    bootstrap); ``tcsp_standbys > 0`` runs the TCSP as a
+    :class:`~repro.core.tcsp.TcspReplicaSet` with that many warm standbys
+    sharing the store, lease loop already started.
     """
     authority = NumberAuthority()
-    tcsp = Tcsp("TCSP", authority, net)
+    tcsp: Tcsp | TcspReplicaSet
+    if tcsp_standbys > 0:
+        replica_set = TcspReplicaSet("TCSP", authority, net, store=store,
+                                     n_standbys=tcsp_standbys)
+        replica_set.start()
+        tcsp = replica_set
+    else:
+        tcsp = Tcsp("TCSP", authority, net, store=store)
     ases = net.topology.as_numbers
     if n_isps <= 1:
         nmses = [tcsp.contract_isp("isp", ases)]

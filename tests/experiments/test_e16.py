@@ -17,8 +17,8 @@ def tables():
 
 
 class TestShape:
-    def test_four_tables(self, tables):
-        assert len(tables) == 4
+    def test_six_tables(self, tables):
+        assert len(tables) == 6
         assert all(t.rows for t in tables)
 
     def test_sweep_covers_all_levels(self, tables):
@@ -52,6 +52,42 @@ class TestRecovery:
         assert open_row[1] > closed_row[1]    # attack leaked while down
         assert open_row[2] > closed_row[2]    # legit preserved while down
         assert open_row[3] == closed_row[3] == 0.0  # both recover filtering
+
+
+class TestStateSurvival:
+    """E16e/E16f: the ISSUE acceptance criteria for the storage layer."""
+
+    def test_backends_and_columns(self, tables):
+        e16e = tables[4]
+        assert [row[0] for row in e16e.rows] == ["memory", "replicated"]
+
+    def test_memory_backend_loses_crashed_shard_state(self, tables):
+        e16e = tables[4]
+        row = dict(zip(e16e.columns, e16e.rows[0]))
+        assert row["durable"] is False
+        assert row["wiped"] > 0
+        assert row["desired_healed"] < row["desired_deploy"]
+
+    def test_replicated_backend_heals_to_full_deployment(self, tables):
+        e16e = tables[4]
+        row = dict(zip(e16e.columns, e16e.rows[1]))
+        assert row["durable"] is True
+        assert row["wiped"] == 0
+        assert row["desired_healed"] == row["desired_deploy"]
+        assert row["perm_lost"] == 0
+
+    def test_tcsp_standby_promoted_during_outage(self, tables):
+        e16e = tables[4]
+        col = e16e.columns.index("tcsp_failovers")
+        assert all(row[col] >= 1 for row in e16e.rows)
+
+    def test_convergence_timeline_heals(self, tables):
+        e16f = tables[5]
+        live = e16f.columns.index("live_replicas")
+        divergent = e16f.columns.index("divergent")
+        assert any(row[live] < 3 for row in e16f.rows)  # the crash happened
+        final = e16f.rows[-1]
+        assert final[live] == 3 and final[divergent] == 0
 
 
 class TestDeterminism:

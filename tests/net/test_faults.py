@@ -62,6 +62,26 @@ class TestFaultPlan:
         starts = [f.start for f in plan]
         assert starts == sorted(starts)
 
+    def test_new_knobs_at_zero_leave_plans_byte_identical(self):
+        # the storage/shard fault families draw their randomness AFTER the
+        # pre-existing families, so plans without them are unchanged
+        baseline = FaultPlan.random(3, **KNOBS)
+        extended = FaultPlan.random(3, store_replicas=(0, 1, 2),
+                                    n_store_crashes=0, n_shard_crashes=0,
+                                    **KNOBS)
+        assert baseline.signature() == extended.signature()
+
+    def test_store_and_shard_crash_generation(self):
+        plan = FaultPlan.random(3, store_replicas=(0, 1, 2),
+                                n_store_crashes=2, n_shard_crashes=1, **KNOBS)
+        store_faults = plan.by_kind(FaultKind.STORE_REPLICA_CRASH)
+        shard_faults = plan.by_kind(FaultKind.NMS_SHARD_CRASH)
+        assert len(store_faults) == 2 and len(shard_faults) == 1
+        assert all(f.target[0] in (0, 1, 2) for f in store_faults)
+        assert shard_faults[0].target[0] in KNOBS["nms_ids"]
+        with pytest.raises(FaultConfigError):
+            FaultPlan.random(3, horizon=2.0, n_store_crashes=1)  # no pool
+
 
 def build_world():
     net = Network(TopologyBuilder.hierarchical(2, 2, 4, seed=1))
@@ -150,6 +170,49 @@ class TestFaultInjector:
         net.run(until=1.0)
         assert injector.loss_rate_at(net.sim.now) == 0.0
         assert not injector.drop_message("tcsp:TCSP", "op", net.sim.now)
+
+    def test_store_replica_crash_round_trip(self):
+        from repro.core import ReplicatedBackend
+
+        net, tcsp, nms = build_world()
+        store = ReplicatedBackend(3, seed=1)
+        plan = FaultPlan([Fault(FaultKind.STORE_REPLICA_CRASH, 0.1, 0.2, (1,))])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms],
+                                 store=store)
+        injector.arm()
+        net.run(until=0.2)
+        assert not store.replica_up(1) and store.live_replicas == 2
+        net.run(until=1.0)
+        assert store.replica_up(1) and store.live_replicas == 3
+        assert injector.injected == injector.cleared == 1
+
+    def test_store_replica_crash_skipped_without_store(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.STORE_REPLICA_CRASH, 0.1, 0.2, (1,))])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms])
+        injector.arm()
+        net.run(until=1.0)
+        assert injector.skipped == 1 and injector.injected == 0
+
+    def test_nms_shard_crash_round_trip(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.NMS_SHARD_CRASH, 0.1, 0.2,
+                                ("isp1",))])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms])
+        injector.arm()
+        net.run(until=0.2)
+        assert nms.partitioned and nms.nms_crashes == 1
+        net.run(until=1.0)
+        assert not nms.partitioned  # restarted and reconciled
+
+    def test_nms_shard_crash_unknown_target_skipped(self):
+        net, tcsp, nms = build_world()
+        plan = FaultPlan([Fault(FaultKind.NMS_SHARD_CRASH, 0.1, 0.2,
+                                ("no-such-isp",))])
+        injector = FaultInjector(plan, net, tcsp=tcsp, nmses=[nms])
+        injector.arm()
+        net.run(until=1.0)
+        assert injector.skipped == 1
 
     def test_arm_twice_rejected(self):
         net, tcsp, nms = build_world()

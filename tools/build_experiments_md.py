@@ -45,7 +45,7 @@ re-runs all of these at reduced scale.
 | E13 | Secs. 4.1/4.3 | design-choice ablations (stage order, redirect policy, stateful filtering) | yes — each paper choice measurably dominates its alternative |
 | E14 | Sec. 3.1 | "an attacked server's resources are exhausted before its uplink is overloaded" defeats pushback | yes — 0 pushback activations at <1% link load while the server dies; TCS unaffected |
 | E15 | Secs. 1, 4.2 | rules "installed, configured and activated instantly" keep up with a vector-switching attacker | yes — every vector answered in 35-110 ms from packet headers alone |
-| E16 | Secs. 4.5, 5.1 | the service stays effective and controllable while its own parts fail, and heals itself | yes — recovery to within 5% of fault-free effectiveness after every injected fault schedule |
+| E16 | Secs. 4.5, 5.1 | the service stays effective and controllable while its own parts fail, and heals itself | yes — recovery to within 5% of fault-free effectiveness after every injected fault schedule; replicated control-plane state survives TCSP/NMS-shard/storage crashes with zero permanent losses |
 
 ---
 """
@@ -247,10 +247,18 @@ control-plane paths: a TCSP outage is detected by retry exhaustion and
 fails over to the direct peer-NMS path; a partitioned NMS is skipped and
 resynced afterwards.  E16d quantifies the fail-open/fail-closed policy
 choice: fail-open leaks the crashed stub's attack share but preserves
-legitimate traffic; fail-closed inverts the trade.  The whole experiment
-is deterministic for a seed (two runs are byte-identical, serial or
-parallel).""",
-  ["E16a", "E16b", "E16c", "E16d"]),
+legitimate traffic; fail-closed inverts the trade.  E16e/E16f extend the
+chaos to control-plane *state*: the TCSP runs as a replica set over a
+pluggable storage backend, and a fault plan crashes the primary TCSP,
+one NMS shard and one storage replica mid-run.  With process-local
+memory the crashed shard's desired state is wiped and stays lost; with
+the replicated, prefix-sharded store a promoted standby and the
+restarted NMS reconcile back to full deployment — zero permanently lost
+records after heal — and E16f's timeline shows the replica set
+converging (divergent records repaired by anti-entropy within two
+windows of the restart).  The whole experiment is deterministic for a
+seed (two runs are byte-identical, serial or parallel).""",
+  ["E16a", "E16b", "E16c", "E16d", "E16e", "E16f"]),
 ]
 
 
