@@ -207,6 +207,59 @@ def sketch_traffic():
     return packets, batch, ctx, resolver, resolver_many
 
 
+@pytest.fixture(scope="module")
+def service_world():
+    """A live :class:`ServiceFacade` serving 1000 subscribers, plus
+    precomputed flow 4-tuples for its two regimes: unowned flows (the
+    direct fast path) and owned flows (the two-stage pipeline)."""
+    from repro.service import ManualClock, ServiceFacade
+
+    facade = ServiceFacade(clock=ManualClock())
+    for i in range(1000):
+        user = NetworkUser(f"user-{i}", prefixes=[Prefix((i + 1) << 16, 16)])
+        graph = ComponentGraph(f"svc:{user.user_id}")
+        graph.chain(*[
+            HeaderFilter(f"r{j}", HeaderMatch(proto=Protocol.TCP, dport=7))
+            for j in range(2)
+        ])
+        facade.subscribe(user, dst_graph=graph)
+    rng = np.random.default_rng(11)
+    # 172.16/12 addresses are never owned by the 10/8 subscribers
+    unowned = [(int(0xAC10_0000 + s), int(0xAC20_0000 + d))
+               for s, d in zip(rng.integers(0, 1 << 16, 256),
+                               rng.integers(0, 1 << 16, 256))]
+    owned = [(int(0xAC10_0000 + s), int(((int(u) + 1) << 16) + 5))
+             for s, u in zip(rng.integers(0, 1 << 16, 256),
+                             rng.integers(0, 1000, 256))]
+    return facade, unowned, owned
+
+
+def test_service_check_fastpath(benchmark, service_world):
+    """256 live checks of unowned flows: one cache probe + the shared
+    PASS_DIRECT verdict each (the ≥100k checks/s load-harness regime)."""
+    facade, unowned, _owned = service_world
+
+    def run_checks():
+        check = facade.check
+        for src, dst in unowned:
+            check(src, dst)
+
+    benchmark(run_checks)
+
+
+def test_service_check_pipeline(benchmark, service_world):
+    """256 live checks of owned flows through packet materialisation and
+    the two-stage pipeline (the redirected-traffic regime)."""
+    facade, _unowned, owned = service_world
+
+    def run_checks():
+        check = facade.check
+        for src, dst in owned:
+            check(src, dst, dport=80)
+
+    benchmark(run_checks)
+
+
 def test_sketch_scalar_update(benchmark, sketch_traffic):
     """The exact per-packet Counter path: 500 scalar collector updates."""
     from repro.core.apps.statistics import TrafficMatrixCollector

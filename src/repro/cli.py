@@ -8,6 +8,7 @@ Usage::
     python -m repro scenario list
     python -m repro scenario run --spec reflector-tcs --engine both
     python -m repro experiments E2 E4 --scale 0.5 -j 4
+    python -m repro serve --block 203.0.113.0/24 --admit-rate 500
     python -m repro obs --json
 
 ``--seed``, ``--scale``, ``--workers/-j`` and ``--metrics-out`` are
@@ -184,6 +185,88 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     return status
 
 
+def _build_serve_app(protect: str, blocks: Sequence[str],
+                     admit_rate: Optional[float],
+                     admit_burst: Optional[float] = None):
+    """Wire up the live service stack for ``repro serve``.
+
+    Returns ``(facade, controller, wsgi_app)``: an
+    :class:`~repro.service.ServiceFacade` whose ownership registry holds
+    one subscriber (the owner of the ``--protect`` prefix), a destination
+    stage graph blacklisting the ``--block`` source prefixes, and a demo
+    WSGI app wrapped in :class:`~repro.service.WsgiTrafficMiddleware`.
+    """
+    from repro.core.components import PrefixBlacklist
+    from repro.core.graph import ComponentGraph
+    from repro.core.ownership import NetworkUser, OwnershipRegistry
+    from repro.net.addressing import Prefix
+    from repro.service import (ServiceFacade, TrafficController,
+                               WsgiTrafficMiddleware)
+    from repro.util.tokenbucket import TokenBucket
+
+    prefix = Prefix.parse(protect)
+    registry = OwnershipRegistry()
+    facade = ServiceFacade(registry)
+    user = NetworkUser(user_id="protected", display_name="protected service",
+                       prefixes=[prefix])
+    if blocks:
+        graph = ComponentGraph("serve-blacklist")
+        graph.chain(PrefixBlacklist(
+            "blocked-sources", [Prefix.parse(b) for b in blocks]))
+        facade.subscribe(user, dst_graph=graph)
+    else:
+        # no filters to install: register ownership only, every check
+        # takes the direct fast path
+        registry.register(user)
+    admission = None
+    if admit_rate is not None:
+        burst = admit_rate if admit_burst is None else admit_burst
+        admission = TokenBucket(rate=admit_rate, burst=burst)
+    controller = TrafficController(facade, prefix.base, admission=admission)
+
+    def demo_app(environ, start_response):
+        body = b"ok\n"
+        start_response("200 OK", [("Content-Type", "text/plain"),
+                                  ("Content-Length", str(len(body)))])
+        return [body]
+
+    return facade, controller, WsgiTrafficMiddleware(demo_app, controller)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a demo app behind the live traffic-control middleware."""
+    from wsgiref.simple_server import WSGIRequestHandler, make_server
+
+    facade, controller, app = _build_serve_app(
+        args.protect, args.block, args.admit_rate, args.admit_burst)
+
+    class _QuietHandler(WSGIRequestHandler):
+        def log_message(self, *a):  # pragma: no cover - silence stderr noise
+            pass
+
+    with make_server(args.host, args.port, app,
+                     handler_class=_QuietHandler) as httpd:
+        print(f"serving on http://{args.host}:{httpd.server_port}/ "
+              f"(protecting {args.protect}, "
+              f"{len(args.block)} blocked prefix(es), "
+              f"admit-rate={'off' if args.admit_rate is None else args.admit_rate})")
+        sys.stdout.flush()
+        try:
+            if args.max_requests > 0:
+                for _ in range(args.max_requests):
+                    httpd.handle_request()
+            else:  # pragma: no cover - interactive mode
+                httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
+    passed = facade._m_pass.value
+    dropped = facade._m_drop.value
+    rejected = controller._m_admission_rejected.value
+    print(f"served {passed + dropped} checks: {passed} passed, "
+          f"{dropped} dropped, {rejected} admission-rejected")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Print every metric the codebase can emit (name, kind, labels)."""
     import json as _json
@@ -277,6 +360,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     p_exp.add_argument("--markdown", action="store_true")
     p_exp.set_defaults(fn=cmd_experiments)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a demo WSGI app behind the live TCS middleware")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8008,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--protect", default="10.0.0.0/24", metavar="CIDR",
+                         help="prefix of the protected service (its owner "
+                              "becomes the sole subscriber)")
+    p_serve.add_argument("--block", action="append", default=[],
+                         metavar="CIDR",
+                         help="blacklist a source prefix (repeatable; "
+                              "installed as the subscriber's dest-stage "
+                              "graph)")
+    p_serve.add_argument("--admit-rate", type=float, default=None,
+                         metavar="RPS",
+                         help="admission token-bucket rate consulted before "
+                              "any ownership check (default: off)")
+    p_serve.add_argument("--admit-burst", type=float, default=None,
+                         help="admission bucket burst (default: rate)")
+    p_serve.add_argument("--max-requests", type=int, default=0, metavar="N",
+                         help="exit after N requests (0 = serve forever)")
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_obs = sub.add_parser("obs",
                            help="dump the telemetry schema (repro.obs)")

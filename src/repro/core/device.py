@@ -19,21 +19,28 @@ that user owns, so "a network user can only get control over the IP
 packets he or she owns".  Every stage runs under the
 :class:`~repro.core.safety.SafetyMonitor`; a violating service is disabled
 on the spot.
+
+The decision path itself — redirect decision behind the per-flow LRU
+cache, the two-stage pipeline, and the safety containment — lives in the
+engine-agnostic :class:`repro.service.core.DecisionCore`; this class owns
+everything simulator-specific around it (crash/fail-policy lifecycle,
+routing-update reactions, the vectorised batch path) and injects its
+``device.*`` registry counters into the shared core, so the extraction
+is invisible to every experiment table.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import DeploymentError, SafetyViolation
+from repro.errors import DeploymentError
 from repro.core.components import ComponentContext
 from repro.core.graph import ComponentGraph
 from repro.core.ownership import NetworkUser, OwnershipRegistry
-from repro.core.safety import SafetyMonitor, vet_graph
+from repro.core.safety import SafetyMonitor
 from repro.net.addressing import Prefix
 from repro.net.packet import Packet, Protocol
 from repro.net.topology import ASRole
@@ -42,11 +49,14 @@ from repro.obs.metrics import declare, reset_metrics
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
     from repro.net.packet import PacketBatch
+    from repro.service.core import DecisionCore
 
 __all__ = ["DeviceContext", "ServiceInstance", "AdaptiveDevice",
            "FLOW_CACHE_CAPACITY"]
 
-#: Default per-device LRU flow-cache capacity (distinct 4-tuples).
+#: Default per-device LRU flow-cache capacity (distinct 4-tuples); the
+#: authoritative constant is :data:`repro.service.core.FLOW_CACHE_CAPACITY`
+#: (duplicated here because the service package is imported lazily).
 FLOW_CACHE_CAPACITY = 4096
 
 _REDIRECTED = declare("device.redirected", "counter", labels=("asn",),
@@ -109,19 +119,15 @@ class AdaptiveDevice:
 
     def __init__(self, context: DeviceContext, registry: OwnershipRegistry,
                  strict: bool = True, stage_order: str = "src-first") -> None:
+        # lazy import: repro.service.core imports repro.core modules, so a
+        # module-level import here would deadlock whichever package is
+        # imported first; at construction time both are fully loaded
+        from repro.service.core import DecisionCore
+
         if stage_order not in ("src-first", "dst-first"):
             raise DeploymentError(f"unknown stage order {stage_order!r}")
         self.context = context
         self.registry = registry
-        #: strict=True re-raises safety violations (library/API use);
-        #: strict=False contains them (live network: restore the packet,
-        #: disable the service, keep forwarding).
-        self.strict = strict
-        #: the paper mandates source stage before destination stage
-        #: ("first sending ... and then receiving", Sec. 4.1); "dst-first"
-        #: exists only for the E13 ablation.
-        self.stage_order = stage_order
-        self.services: dict[str, ServiceInstance] = {}
         # registry-backed counters, labelled by this device's AS number;
         # the legacy attributes below are property views over these
         asn = str(context.asn)
@@ -132,6 +138,22 @@ class AdaptiveDevice:
         self._m_restarts = _RESTARTS.labelled(asn=asn)
         self._m_fc_hits = _FC_HITS.labelled(asn=asn)
         self._m_fc_misses = _FC_MISSES.labelled(asn=asn)
+        #: the shared decision path (flow cache + ownership LPM + two-stage
+        #: pipeline + safety containment), accounting into this device's
+        #: ``device.*`` counters
+        self._core: "DecisionCore" = DecisionCore(
+            context, registry, strict=strict, stage_order=stage_order,
+            flow_cache_capacity=FLOW_CACHE_CAPACITY,
+            counters={
+                "redirected": self._m_redirected,
+                "dropped": self._m_dropped,
+                "safety_disables": self._m_safety_disables,
+                "flow_cache_hits": self._m_fc_hits,
+                "flow_cache_misses": self._m_fc_misses,
+            })
+        #: the same dict object as ``self._core.services`` — mutations
+        #: through either alias are seen by both
+        self.services: dict[str, ServiceInstance] = self._core.services
         #: crash/restart lifecycle (fault injection): a crashed device holds
         #: no usable configuration.  ``fail_policy`` picks the Sec. 4.5
         #: stance while down: "fail-open" lets owned traffic take the
@@ -139,12 +161,41 @@ class AdaptiveDevice:
         #: traffic until the NMS re-installs services after restart.
         self.crashed = False
         self.fail_policy = "fail-open"
-        #: router-style per-flow fast path: 4-tuple -> (src_owner,
-        #: dst_owner, redirect?), so repeat packets of a flow skip both
-        #: ownership LPM walks and the service-membership check.
-        self._flow_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
-        self._flow_cache_version = registry.version
-        self.flow_cache_capacity = FLOW_CACHE_CAPACITY
+
+    # ----------------------------------------------------- decision-core views
+    @property
+    def strict(self) -> bool:
+        """strict=True re-raises safety violations (library/API use);
+        strict=False contains them (live network: restore the packet,
+        disable the service, keep forwarding)."""
+        return self._core.strict
+
+    @strict.setter
+    def strict(self, value: bool) -> None:
+        self._core.strict = value
+
+    @property
+    def stage_order(self) -> str:
+        """"src-first" per the paper ("first sending ... and then
+        receiving", Sec. 4.1); "dst-first" exists only for the E13
+        ablation."""
+        return self._core.stage_order
+
+    @stage_order.setter
+    def stage_order(self, value: str) -> None:
+        self._core.stage_order = value
+
+    @property
+    def flow_cache_capacity(self) -> int:
+        return self._core.flow_cache_capacity
+
+    @flow_cache_capacity.setter
+    def flow_cache_capacity(self, value: int) -> None:
+        self._core.flow_cache_capacity = value
+
+    @property
+    def _flow_cache(self):
+        return self._core.flow_cache
 
     # ------------------------------------------------------ legacy stat views
     @property
@@ -216,42 +267,17 @@ class AdaptiveDevice:
     def install(self, user: NetworkUser, src_graph: Optional[ComponentGraph] = None,
                 dst_graph: Optional[ComponentGraph] = None) -> ServiceInstance:
         """Install (after vetting) a user's stage graphs on this device."""
-        if src_graph is None and dst_graph is None:
-            raise DeploymentError(f"user {user.user_id!r}: nothing to install")
-        for graph in (src_graph, dst_graph):
-            if graph is not None:
-                vet_graph(graph)
-        instance = self.services.get(user.user_id)
-        if instance is None:
-            instance = ServiceInstance(user=user)
-            self.services[user.user_id] = instance
-        if src_graph is not None:
-            instance.src_graph = src_graph
-        if dst_graph is not None:
-            instance.dst_graph = dst_graph
-        instance.disabled_for_violation = False
-        self.invalidate_flow_cache()
-        return instance
+        return self._core.install(user, src_graph, dst_graph)
 
     def uninstall(self, user_id: str) -> bool:
-        removed = self.services.pop(user_id, None) is not None
-        if removed:
-            self.invalidate_flow_cache()
-        return removed
+        return self._core.uninstall(user_id)
 
     def set_active(self, user_id: str, active: bool) -> None:
-        try:
-            self.services[user_id].active = active
-        except KeyError as exc:
-            raise DeploymentError(f"no service for user {user_id!r} here") from exc
-        # cached redirect decisions embed the active flag — drop them, or a
-        # deactivated service's flows would keep being redirected (and a
-        # re-activated one's would keep bypassing the device)
-        self.invalidate_flow_cache()
+        self._core.set_active(user_id, active)
 
     def rule_count(self) -> int:
         """Total installed components — the Sec. 5.3 scaling quantity."""
-        return sum(s.rule_count() for s in self.services.values())
+        return self._core.rule_count()
 
     # ------------------------------------------------------- crash lifecycle
     def crash(self) -> None:
@@ -326,7 +352,7 @@ class AdaptiveDevice:
     # -------------------------------------------------------------- fast path
     def invalidate_flow_cache(self) -> None:
         """Drop every cached per-flow decision (service set changed)."""
-        self._flow_cache.clear()
+        self._core.invalidate()
 
     @property
     def flow_cache_hit_rate(self) -> float:
@@ -334,50 +360,9 @@ class AdaptiveDevice:
         total = self.flow_cache_hits + self.flow_cache_misses
         return self.flow_cache_hits / total if total else 0.0
 
-    def _flow_lookup(self, packet: Packet) -> tuple:
-        """Resolve ``(src_owner, dst_owner, redirect?)`` for the packet's
-        flow, caching by ``(src, dst, proto, dport)``.
-
-        Entries survive until the LRU evicts them, a service is installed
-        or uninstalled here, or the ownership registry changes (detected
-        via its version counter).
-        """
-        cache = self._flow_cache
-        if self._flow_cache_version != self.registry.version:
-            cache.clear()
-            self._flow_cache_version = self.registry.version
-        key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
-        entry = cache.get(key)
-        if entry is not None:
-            self._m_fc_hits.value += 1
-            cache.move_to_end(key)
-            return entry
-        return self._flow_miss(key, packet)
-
-    def _flow_miss(self, key: tuple, packet: Packet) -> tuple:
-        """Slow path: resolve owners via the registry and cache the result."""
-        self._m_fc_misses.value += 1
-        src_owner, dst_owner = self.registry.owners_of_packet(packet)
-        services = self.services
-        src_inst = None if src_owner is None else services.get(src_owner.user_id)
-        dst_inst = None if dst_owner is None else services.get(dst_owner.user_id)
-        # only *active* services claim the packet; set_active/install/
-        # uninstall invalidate the cache so entries never go stale
-        wants = ((src_inst is not None and src_inst.active)
-                 or (dst_inst is not None and dst_inst.active))
-        entry = (src_owner, dst_owner, wants)
-        cache = self._flow_cache
-        cache[key] = entry
-        if len(cache) > self.flow_cache_capacity:
-            cache.popitem(last=False)
-        return entry
-
     def wants(self, packet: Packet) -> bool:
         """Redirect decision: does a registered user with a service here own
         this packet?  Everything else takes the router's direct path.
-
-        Mirrors :meth:`_flow_lookup` inline — this is the single hottest
-        call in the simulator, so it spends no extra stack frame on a hit.
 
         A crashed device claims nothing under "fail-open" (owned traffic
         takes the router's direct path, unfiltered) and claims every owned
@@ -388,16 +373,7 @@ class AdaptiveDevice:
                 return False
             src_owner, dst_owner = self.registry.owners_of_packet(packet)
             return src_owner is not None or dst_owner is not None
-        if self._flow_cache_version != self.registry.version:
-            self._flow_cache.clear()
-            self._flow_cache_version = self.registry.version
-        key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
-        entry = self._flow_cache.get(key)
-        if entry is not None:
-            self._m_fc_hits.value += 1
-            self._flow_cache.move_to_end(key)
-            return entry[2]
-        return self._flow_miss(key, packet)[2]
+        return self._core.wants(packet)
 
     def process(self, packet: Packet, now: float,
                 ingress_asn: Optional[int]) -> Optional[Packet]:
@@ -407,30 +383,7 @@ class AdaptiveDevice:
             # until the NMS reconciles the restarted device
             self._m_dropped.value += 1
             return None
-        self._m_redirected.value += 1
-        src_owner, dst_owner, _ = self._flow_lookup(packet)
-        return self._run_stages(packet, src_owner, dst_owner, now,
-                                ingress_asn)
-
-    def _run_stages(self, packet: Packet, src_owner: Optional[NetworkUser],
-                    dst_owner: Optional[NetworkUser], now: float,
-                    ingress_asn: Optional[int]) -> Optional[Packet]:
-        """The two-stage loop with owners already resolved (shared by the
-        scalar path and the batch path's residual set)."""
-        local_origin = ingress_asn is None
-        stages = [(src_owner, "source"), (dst_owner, "dest")]
-        if self.stage_order == "dst-first":  # E13 ablation only
-            stages.reverse()
-        for owner, stage in stages:
-            if owner is None:
-                continue
-            packet_after = self._run_stage(packet, owner, stage, now,
-                                           ingress_asn, local_origin)
-            if packet_after is None:
-                self._m_dropped.value += 1
-                return None
-            packet = packet_after
-        return packet
+        return self._core.process(packet, now, ingress_asn)
 
     def process_batch(self, batch: "PacketBatch", now: float,
                       ingress_asn: Optional[int]
@@ -447,8 +400,9 @@ class AdaptiveDevice:
            (:meth:`OwnershipRegistry.owners_of_many`),
         2. redirect decision — a boolean take over the per-flow verdicts,
         3. residual scalar path — only packets an active service actually
-           claims are materialised and run through :meth:`_run_stages`,
-           exactly as the scalar engine would.
+           claims are materialised and run through the core's
+           :meth:`~repro.service.core.DecisionCore.run_stages`, exactly as
+           the scalar engine would.
 
         Returns ``(passed, dropped)`` sub-batches (either may be ``None``).
         Counter totals (redirected / dropped / cache hits / misses) equal
@@ -477,10 +431,8 @@ class AdaptiveDevice:
             passed = batch.select(~owned) if not owned.all() else None
             return passed, dropped
 
-        cache = self._flow_cache
-        if self._flow_cache_version != self.registry.version:
-            cache.clear()
-            self._flow_cache_version = self.registry.version
+        core = self._core
+        cache = core.synced_cache()
         key_a, key_b = batch.flow_keys()
         pairs = np.empty(n, dtype=[("a", np.uint64), ("b", np.uint64)])
         pairs["a"] = key_a
@@ -512,6 +464,7 @@ class AdaptiveDevice:
             src_owners = self.registry.owners_of_many(batch.src[miss_rows])
             dst_owners = self.registry.owners_of_many(batch.dst[miss_rows])
             services = self.services
+            capacity = core.flow_cache_capacity
             for k, (j, key, _row) in enumerate(misses):
                 src_owner, dst_owner = src_owners[k], dst_owners[k]
                 src_inst = (None if src_owner is None
@@ -523,7 +476,7 @@ class AdaptiveDevice:
                 entry = (src_owner, dst_owner, wants)
                 entries[j] = entry
                 cache[key] = entry
-                if len(cache) > self.flow_cache_capacity:
+                if len(cache) > capacity:
                     cache.popitem(last=False)
         self._m_fc_hits.value += hits
         self._m_fc_misses.value += len(misses)
@@ -570,8 +523,8 @@ class AdaptiveDevice:
             i = int(i)
             src_owner, dst_owner, _ = entries[int(inverse[i])]
             pkt = batch.packet_at(i)
-            out = self._run_stages(pkt, src_owner, dst_owner, now,
-                                   ingress_asn)
+            out = core.run_stages(pkt, src_owner, dst_owner, now,
+                                  ingress_asn)
             if out is None:
                 keep[i] = False
             else:
@@ -643,44 +596,6 @@ class AdaptiveDevice:
             graph.process_batch(batch, rows, ctx, plan)
             monitor.packets_out += n
             monitor.bytes_out += total_bytes
-
-    def _run_stage(self, packet: Packet, owner: NetworkUser, stage: str,
-                   now: float, ingress_asn: Optional[int],
-                   local_origin: bool) -> Optional[Packet]:
-        instance = self.services.get(owner.user_id)
-        if instance is None or not instance.active or instance.disabled_for_violation:
-            return packet
-        graph = instance.src_graph if stage == "source" else instance.dst_graph
-        if graph is None:
-            return packet
-        ctx = ComponentContext(
-            now=now, asn=self.context.asn, is_transit=self.context.is_transit,
-            local_prefix=self.context.local_prefix, stage=stage, owner=owner,
-            ingress_asn=ingress_asn, local_origin=local_origin,
-        )
-        before = instance.monitor.note_in(packet)
-        from repro.core.components import Verdict  # cheap local import
-
-        verdict = graph.process(packet, ctx)
-        result = packet if verdict is Verdict.PASS else None
-        try:
-            instance.monitor.check(before, result, graph.name)
-        except SafetyViolation:
-            # Sec. 4.5: contain the misbehaving service immediately.
-            instance.disabled_for_violation = True
-            self._m_safety_disables.value += 1
-            if self.strict:
-                raise
-            # fail-safe containment: undo the forbidden mutations and let
-            # the packet continue on the router's normal path
-            from repro.net.addressing import IPv4Address
-
-            packet.src = IPv4Address(before.src)
-            packet.dst = IPv4Address(before.dst)
-            packet.ttl = before.ttl
-            packet.size = before.size
-            return packet
-        return result
 
 
 def attach_device(network: "Network", asn: int,

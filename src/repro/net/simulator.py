@@ -23,7 +23,7 @@ from typing import Any, Callable, Optional
 from repro.errors import SimulationError
 from repro.obs.metrics import declare
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "SimClock", "Simulator"]
 
 #: Compact the heap once at least this many tombstones have accumulated
 #: *and* they outnumber the live events.
@@ -39,6 +39,19 @@ _BATCH_EVENTS = declare("sim.batch_events", "counter",
                         help="packet-batch event slots scheduled")
 _BATCH_PACKETS = declare("sim.batch_packets", "counter",
                          help="packets carried inside batch event slots")
+
+
+class SimClock:
+    """A :class:`repro.service.clock.Clock` view of a simulator's time —
+    the simulated side of the service layer's clock seam."""
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    def now(self) -> float:
+        return self._sim._now
 
 
 class Event:
@@ -106,6 +119,13 @@ class Simulator:
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def clock(self) -> "SimClock":
+        """This simulator as a :class:`repro.service.clock.Clock` — hand it
+        to a :class:`~repro.service.facade.ServiceFacade` to drive the live
+        decision path from simulated time."""
+        return SimClock(self)
 
     @property
     def events_processed(self) -> int:

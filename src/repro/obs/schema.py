@@ -26,6 +26,7 @@ EMITTING_MODULES = (
     "repro.core.components",
     "repro.core.apps.statistics",
     "repro.scenario.metrics",
+    "repro.service.facade",
 )
 
 

@@ -1,0 +1,42 @@
+"""Live traffic-control service layer (ROADMAP item 3).
+
+The paper's central artifact — the redirect decision plus the two-stage
+verification/filtering pipeline gated by ownership and safety checks —
+is packaged here as an engine-agnostic service:
+
+* :mod:`clock`      — the :class:`Clock` protocol with wall-clock and
+  manual implementations (the simulator side of the seam is
+  :class:`repro.net.simulator.SimClock`),
+* :mod:`core`       — :class:`DecisionCore`, the decision path shared by
+  the simulator's :class:`~repro.core.device.AdaptiveDevice` and the
+  live facade (flow cache, ownership LPM, two-stage pipeline, safety
+  containment),
+* :mod:`facade`     — :class:`ServiceFacade` (``check(src, dst) ->
+  Verdict``) and :class:`TrafficController` (facade + token-bucket
+  admission) for direct embedding,
+* :mod:`middleware` — framework-free ASGI and WSGI middleware adapters.
+
+The simulator keeps emitting ``device.*`` metric families; the live path
+emits ``service.*`` families through the same :mod:`repro.obs` registry.
+"""
+
+from repro.service.clock import Clock, ManualClock, WallClock
+from repro.service.core import DecisionCore, FLOW_CACHE_CAPACITY
+from repro.service.facade import ServiceFacade, TrafficController, Verdict
+from repro.service.middleware import (
+    AsgiTrafficMiddleware,
+    WsgiTrafficMiddleware,
+)
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "WallClock",
+    "DecisionCore",
+    "FLOW_CACHE_CAPACITY",
+    "ServiceFacade",
+    "TrafficController",
+    "Verdict",
+    "AsgiTrafficMiddleware",
+    "WsgiTrafficMiddleware",
+]

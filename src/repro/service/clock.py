@@ -1,0 +1,61 @@
+"""The clock seam between simulated and wall-clock time.
+
+Every time-dependent piece of the decision path (rate limiters, stateful
+filters, trigger windows) already takes explicit ``now`` timestamps; the
+:class:`Clock` protocol names the single place those timestamps come
+from.  The simulator's side of the seam is
+:class:`repro.net.simulator.SimClock` (``sim.clock`` reads ``sim.now``);
+the live side is :class:`WallClock`; tests use :class:`ManualClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "ManualClock", "WallClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can answer "what time is it?" in seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotone, arbitrary epoch)."""
+        ...  # pragma: no cover - protocol
+
+
+class WallClock:
+    """Monotonic wall-clock time, zeroed at construction.
+
+    The zeroed epoch keeps live timestamps small and float-precise (token
+    buckets and timing filters subtract timestamps; absolute epoch seconds
+    would waste mantissa bits).
+    """
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+
+class ManualClock:
+    """Explicitly-advanced clock for tests and deterministic replay."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds!r}s")
+        self._now += seconds
+        return self._now

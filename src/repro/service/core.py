@@ -1,0 +1,285 @@
+"""The engine-agnostic TCS decision core (carved out of the device).
+
+:class:`DecisionCore` owns the paper's per-packet decision path —
+ownership-LPM redirect decision behind a per-flow LRU cache, the
+source-owner/destination-owner two-stage pipeline, and the Sec. 4.5
+safety containment that disables a violating service on the spot.  Both
+consumers share it byte-for-byte:
+
+* the simulator's :class:`~repro.core.device.AdaptiveDevice` delegates
+  its scalar and batch paths here (and injects its ``device.*`` registry
+  counters, so experiment tables are unchanged by the extraction),
+* the live :class:`~repro.service.facade.ServiceFacade` drives the same
+  core from wall-clock (or injected) time and emits ``service.*``
+  counters instead.
+
+Counters are injected as anything with a ``value`` attribute (registry
+``Counter`` instruments or plain :class:`StatCell` cells), so the core
+itself declares no metric families and can run registry-free.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import DeploymentError, SafetyViolation
+from repro.core.components import ComponentContext, Verdict
+from repro.core.graph import ComponentGraph
+from repro.core.ownership import NetworkUser, OwnershipRegistry
+from repro.core.safety import vet_graph
+from repro.net.addressing import IPv4Address
+from repro.net.packet import Packet, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.device import DeviceContext, ServiceInstance
+
+__all__ = ["DecisionCore", "StatCell", "FLOW_CACHE_CAPACITY"]
+
+#: Default per-core LRU flow-cache capacity (distinct 4-tuples) — the
+#: same constant :mod:`repro.core.device` re-exports.
+FLOW_CACHE_CAPACITY = 4096
+
+#: The counter slots a core accounts into (see ``counters=`` below).
+COUNTER_NAMES = ("redirected", "dropped", "safety_disables",
+                 "flow_cache_hits", "flow_cache_misses")
+
+
+class StatCell:
+    """Registry-free counter cell: the ``.value`` contract of
+    :class:`repro.obs.metrics.Counter` without any registry."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class DecisionCore:
+    """Redirect decision + two-stage pipeline, independent of any engine.
+
+    ``context`` is a :class:`~repro.core.device.DeviceContext` (where the
+    decision point sits); ``services`` is the mutable user-id ->
+    :class:`~repro.core.device.ServiceInstance` map (shared by reference
+    with the owning device or facade); ``counters`` maps the names in
+    :data:`COUNTER_NAMES` to objects with a ``value`` attribute —
+    unnamed slots get private :class:`StatCell` cells.
+    """
+
+    __slots__ = ("context", "registry", "services", "strict", "stage_order",
+                 "flow_cache", "flow_cache_capacity", "_flow_cache_version",
+                 "m_redirected", "m_dropped", "m_safety_disables",
+                 "m_fc_hits", "m_fc_misses")
+
+    def __init__(self, context: "DeviceContext", registry: OwnershipRegistry,
+                 *, services: Optional[dict] = None, strict: bool = True,
+                 stage_order: str = "src-first",
+                 flow_cache_capacity: int = FLOW_CACHE_CAPACITY,
+                 counters: Optional[dict] = None) -> None:
+        if stage_order not in ("src-first", "dst-first"):
+            raise DeploymentError(f"unknown stage order {stage_order!r}")
+        self.context = context
+        self.registry = registry
+        self.services: dict[str, "ServiceInstance"] = (
+            {} if services is None else services)
+        #: strict=True re-raises safety violations (library/API use);
+        #: strict=False contains them (live path: restore the packet,
+        #: disable the service, keep forwarding).
+        self.strict = strict
+        #: the paper mandates source stage before destination stage
+        #: ("first sending ... and then receiving", Sec. 4.1); "dst-first"
+        #: exists only for the E13 ablation.
+        self.stage_order = stage_order
+        #: per-flow fast path: 4-tuple -> (src_owner, dst_owner,
+        #: redirect?), so repeat packets of a flow skip both ownership
+        #: LPM walks and the service-membership check.
+        self.flow_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.flow_cache_capacity = flow_cache_capacity
+        self._flow_cache_version = registry.version
+        c = counters or {}
+        self.m_redirected = c.get("redirected") or StatCell()
+        self.m_dropped = c.get("dropped") or StatCell()
+        self.m_safety_disables = c.get("safety_disables") or StatCell()
+        self.m_fc_hits = c.get("flow_cache_hits") or StatCell()
+        self.m_fc_misses = c.get("flow_cache_misses") or StatCell()
+
+    # -------------------------------------------------------------- management
+    def install(self, user: NetworkUser,
+                src_graph: Optional[ComponentGraph] = None,
+                dst_graph: Optional[ComponentGraph] = None
+                ) -> "ServiceInstance":
+        """Install (after vetting) a user's stage graphs."""
+        from repro.core.device import ServiceInstance
+
+        if src_graph is None and dst_graph is None:
+            raise DeploymentError(f"user {user.user_id!r}: nothing to install")
+        for graph in (src_graph, dst_graph):
+            if graph is not None:
+                vet_graph(graph)
+        instance = self.services.get(user.user_id)
+        if instance is None:
+            instance = ServiceInstance(user=user)
+            self.services[user.user_id] = instance
+        if src_graph is not None:
+            instance.src_graph = src_graph
+        if dst_graph is not None:
+            instance.dst_graph = dst_graph
+        instance.disabled_for_violation = False
+        self.invalidate()
+        return instance
+
+    def uninstall(self, user_id: str) -> bool:
+        removed = self.services.pop(user_id, None) is not None
+        if removed:
+            self.invalidate()
+        return removed
+
+    def set_active(self, user_id: str, active: bool) -> None:
+        try:
+            self.services[user_id].active = active
+        except KeyError as exc:
+            raise DeploymentError(f"no service for user {user_id!r} here") from exc
+        # cached redirect decisions embed the active flag — drop them, or a
+        # deactivated service's flows would keep being redirected (and a
+        # re-activated one's would keep bypassing the pipeline)
+        self.invalidate()
+
+    def rule_count(self) -> int:
+        """Total installed components — the Sec. 5.3 scaling quantity."""
+        return sum(s.rule_count() for s in self.services.values())
+
+    # -------------------------------------------------------------- fast path
+    def invalidate(self) -> None:
+        """Drop every cached per-flow decision (service set changed)."""
+        self.flow_cache.clear()
+
+    def synced_cache(self) -> "OrderedDict[tuple, tuple]":
+        """The flow cache, cleared first if the ownership registry changed
+        since the last lookup (detected via its version counter)."""
+        cache = self.flow_cache
+        if self._flow_cache_version != self.registry.version:
+            cache.clear()
+            self._flow_cache_version = self.registry.version
+        return cache
+
+    def flow_entry(self, src: int, dst: int, proto: Protocol,
+                   dport: int) -> tuple:
+        """Resolve ``(src_owner, dst_owner, redirect?)`` for one flow
+        4-tuple (addresses as ints), caching the answer.
+
+        Entries survive until the LRU evicts them, a service is installed
+        or uninstalled here, or the ownership registry changes.
+        """
+        cache = self.synced_cache()
+        key = (src, dst, proto, dport)
+        entry = cache.get(key)
+        if entry is not None:
+            self.m_fc_hits.value += 1
+            cache.move_to_end(key)
+            return entry
+        return self.flow_miss(key)
+
+    def flow_miss(self, key: tuple) -> tuple:
+        """Slow path: resolve owners via the registry and cache the result."""
+        self.m_fc_misses.value += 1
+        registry = self.registry
+        src_owner = registry.owner_of(key[0])
+        dst_owner = registry.owner_of(key[1])
+        services = self.services
+        src_inst = None if src_owner is None else services.get(src_owner.user_id)
+        dst_inst = None if dst_owner is None else services.get(dst_owner.user_id)
+        # only *active* services claim the flow; set_active/install/
+        # uninstall invalidate the cache so entries never go stale
+        wants = ((src_inst is not None and src_inst.active)
+                 or (dst_inst is not None and dst_inst.active))
+        entry = (src_owner, dst_owner, wants)
+        cache = self.flow_cache
+        cache[key] = entry
+        if len(cache) > self.flow_cache_capacity:
+            cache.popitem(last=False)
+        return entry
+
+    def wants(self, packet: Packet) -> bool:
+        """Redirect decision: does a registered user with an active service
+        here own this packet?  Everything else takes the direct path.
+
+        Mirrors :meth:`flow_entry` inline — this is the single hottest
+        call in the simulator, so it spends no extra stack frame on a hit.
+        """
+        cache = self.flow_cache
+        if self._flow_cache_version != self.registry.version:
+            cache.clear()
+            self._flow_cache_version = self.registry.version
+        key = (packet.src.value, packet.dst.value, packet.proto, packet.dport)
+        entry = cache.get(key)
+        if entry is not None:
+            self.m_fc_hits.value += 1
+            cache.move_to_end(key)
+            return entry[2]
+        return self.flow_miss(key)[2]
+
+    # --------------------------------------------------------------- pipeline
+    def process(self, packet: Packet, now: float,
+                ingress_asn: Optional[int]) -> Optional[Packet]:
+        """Run the two processing stages; None means the packet was dropped."""
+        self.m_redirected.value += 1
+        src_owner, dst_owner, _ = self.flow_entry(
+            packet.src.value, packet.dst.value, packet.proto, packet.dport)
+        return self.run_stages(packet, src_owner, dst_owner, now, ingress_asn)
+
+    def run_stages(self, packet: Packet, src_owner: Optional[NetworkUser],
+                   dst_owner: Optional[NetworkUser], now: float,
+                   ingress_asn: Optional[int]) -> Optional[Packet]:
+        """The two-stage loop with owners already resolved (shared by the
+        scalar path, the batch path's residual set, and the live facade)."""
+        local_origin = ingress_asn is None
+        stages = [(src_owner, "source"), (dst_owner, "dest")]
+        if self.stage_order == "dst-first":  # E13 ablation only
+            stages.reverse()
+        for owner, stage in stages:
+            if owner is None:
+                continue
+            packet_after = self._run_stage(packet, owner, stage, now,
+                                           ingress_asn, local_origin)
+            if packet_after is None:
+                self.m_dropped.value += 1
+                return None
+            packet = packet_after
+        return packet
+
+    def _run_stage(self, packet: Packet, owner: NetworkUser, stage: str,
+                   now: float, ingress_asn: Optional[int],
+                   local_origin: bool) -> Optional[Packet]:
+        instance = self.services.get(owner.user_id)
+        if instance is None or not instance.active or instance.disabled_for_violation:
+            return packet
+        graph = instance.src_graph if stage == "source" else instance.dst_graph
+        if graph is None:
+            return packet
+        ctx = ComponentContext(
+            now=now, asn=self.context.asn, is_transit=self.context.is_transit,
+            local_prefix=self.context.local_prefix, stage=stage, owner=owner,
+            ingress_asn=ingress_asn, local_origin=local_origin,
+        )
+        before = instance.monitor.note_in(packet)
+        verdict = graph.process(packet, ctx)
+        result = packet if verdict is Verdict.PASS else None
+        try:
+            instance.monitor.check(before, result, graph.name)
+        except SafetyViolation:
+            # Sec. 4.5: contain the misbehaving service immediately.
+            instance.disabled_for_violation = True
+            self.m_safety_disables.value += 1
+            if self.strict:
+                raise
+            # fail-safe containment: undo the forbidden mutations and let
+            # the packet continue on the normal path
+            packet.src = IPv4Address(before.src)
+            packet.dst = IPv4Address(before.dst)
+            packet.ttl = before.ttl
+            packet.size = before.size
+            return packet
+        return result

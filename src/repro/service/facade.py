@@ -1,0 +1,208 @@
+"""Live service facade over the decision core.
+
+:class:`ServiceFacade` answers the question a live deployment asks on
+every request — ``check(src, dst) -> Verdict`` — with exactly the
+simulator's semantics: ownership LPM behind the per-flow LRU cache, the
+two-stage owner pipeline, and Sec. 4.5 safety containment.  Unowned
+traffic takes the fast path (one cache probe, a shared singleton
+verdict); owned traffic is materialised as a :class:`Packet` and run
+through the installed stage graphs.
+
+:class:`TrafficController` adds the deployment-facing conveniences the
+middleware adapters need: a default protected service address, and an
+optional :class:`~repro.util.tokenbucket.TokenBucket` admission guard
+(the live analogue of the device's rate-limit component).
+
+Metric families (``service.*``) are emitted through the ambient
+:mod:`repro.obs` registry, next to the simulator's ``device.*`` ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.device import DeviceContext
+from repro.core.graph import ComponentGraph
+from repro.core.ownership import NetworkUser, OwnershipRegistry
+from repro.net.addressing import IPv4Address, Prefix, _as_int
+from repro.net.packet import Packet, Protocol
+from repro.net.topology import ASRole
+from repro.obs.metrics import declare
+from repro.service.clock import Clock, WallClock
+from repro.service.core import DecisionCore, FLOW_CACHE_CAPACITY
+from repro.util.tokenbucket import TokenBucket
+
+__all__ = ["Verdict", "ServiceFacade", "TrafficController"]
+
+_CHECKS = declare("service.checks", "counter", labels=("verdict",),
+                  help="live service checks by verdict (pass | drop)")
+_REDIRECTED = declare("service.redirected", "counter",
+                      help="checks that entered the two-stage pipeline")
+_DROPPED = declare("service.dropped", "counter",
+                   help="checks dropped by a processing stage")
+_SAFETY_DISABLES = declare("service.safety_disables", "counter",
+                           help="live services disabled for safety violations")
+_CACHE_HITS = declare("service.cache_hits", "counter",
+                      help="checks served from the per-flow verdict cache")
+_CACHE_MISSES = declare("service.cache_misses", "counter",
+                        help="checks resolved via the ownership LPM slow path")
+_ADMISSION_REJECTED = declare("service.admission_rejected", "counter",
+                              help="requests refused by the admission "
+                                   "token bucket before any ownership check")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The outcome of one live check.
+
+    (Distinct from the per-component :class:`repro.core.components.Verdict`
+    enum: this is the end-to-end answer for one request/flow.)
+    """
+
+    allowed: bool
+    #: True when the flow was owned by a subscriber with an active service
+    #: here and therefore ran the two-stage pipeline; False means it took
+    #: the direct path (or was refused at admission).
+    redirected: bool
+    #: "direct" | "processed" | "filtered" | "admission"
+    reason: str = ""
+    src_owner: Optional[str] = None
+    dst_owner: Optional[str] = None
+
+    @property
+    def action(self) -> str:
+        return "pass" if self.allowed else "drop"
+
+
+#: Shared fast-path verdicts (the overwhelmingly common outcomes — "Most
+#: traffic will use the direct path through the router", Sec. 4.1).
+PASS_DIRECT = Verdict(allowed=True, redirected=False, reason="direct")
+DROP_ADMISSION = Verdict(allowed=False, redirected=False, reason="admission")
+
+
+class ServiceFacade:
+    """``check(src, dst, now) -> Verdict`` over a :class:`DecisionCore`.
+
+    ``clock`` supplies timestamps when the caller passes no explicit
+    ``now`` — :class:`~repro.service.clock.WallClock` by default,
+    ``sim.clock`` to drive the same facade from simulated time.
+    """
+
+    def __init__(self, registry: Optional[OwnershipRegistry] = None, *,
+                 clock: Optional[Clock] = None,
+                 context: Optional[DeviceContext] = None,
+                 strict: bool = False, stage_order: str = "src-first",
+                 flow_cache_capacity: int = FLOW_CACHE_CAPACITY) -> None:
+        self.registry = registry if registry is not None else OwnershipRegistry()
+        self.clock: Clock = clock if clock is not None else WallClock()
+        if context is None:
+            # a standalone facade fronts one site: stub role, no local
+            # prefix bias (components that scope to the local prefix see
+            # the catch-all)
+            context = DeviceContext(asn=0, role=ASRole.STUB,
+                                    local_prefix=Prefix(0, 0))
+        self._m_pass = _CHECKS.labelled(verdict="pass")
+        self._m_drop = _CHECKS.labelled(verdict="drop")
+        self._m_redirected = _REDIRECTED.labelled()
+        self.core = DecisionCore(
+            context, self.registry, strict=strict, stage_order=stage_order,
+            flow_cache_capacity=flow_cache_capacity,
+            counters={
+                "dropped": _DROPPED.labelled(),
+                "safety_disables": _SAFETY_DISABLES.labelled(),
+                "flow_cache_hits": _CACHE_HITS.labelled(),
+                "flow_cache_misses": _CACHE_MISSES.labelled(),
+            })
+
+    # ------------------------------------------------------------- management
+    def subscribe(self, user: NetworkUser,
+                  src_graph: Optional[ComponentGraph] = None,
+                  dst_graph: Optional[ComponentGraph] = None):
+        """Register the user's prefixes (if new) and install their graphs."""
+        if not any(u.user_id == user.user_id for u in self.registry.users):
+            self.registry.register(user)
+        return self.core.install(user, src_graph, dst_graph)
+
+    def install(self, user: NetworkUser,
+                src_graph: Optional[ComponentGraph] = None,
+                dst_graph: Optional[ComponentGraph] = None):
+        return self.core.install(user, src_graph, dst_graph)
+
+    def uninstall(self, user_id: str) -> bool:
+        return self.core.uninstall(user_id)
+
+    def set_active(self, user_id: str, active: bool) -> None:
+        self.core.set_active(user_id, active)
+
+    # ------------------------------------------------------------------ check
+    def check(self, src, dst, *, proto: Protocol = Protocol.TCP,
+              sport: int = 0, dport: int = 0, size: int = 512,
+              now: Optional[float] = None) -> Verdict:
+        """The live redirect decision + pipeline for one flow.
+
+        ``src``/``dst`` accept ints, :class:`IPv4Address`, or dotted
+        strings (ints skip all coercion — the load-harness fast path).
+        """
+        src_i = src if type(src) is int else _as_int(src)
+        dst_i = dst if type(dst) is int else _as_int(dst)
+        core = self.core
+        entry = core.flow_entry(src_i, dst_i, proto, dport)
+        if not entry[2]:
+            self._m_pass.value += 1
+            return PASS_DIRECT
+        src_owner, dst_owner = entry[0], entry[1]
+        self._m_redirected.value += 1
+        if now is None:
+            now = self.clock.now()
+        packet = Packet(IPv4Address(src_i), IPv4Address(dst_i), proto=proto,
+                        size=size, sport=sport, dport=dport)
+        out = core.run_stages(packet, src_owner, dst_owner, now, None)
+        src_id = None if src_owner is None else src_owner.user_id
+        dst_id = None if dst_owner is None else dst_owner.user_id
+        if out is None:
+            self._m_drop.value += 1
+            return Verdict(allowed=False, redirected=True, reason="filtered",
+                           src_owner=src_id, dst_owner=dst_id)
+        self._m_pass.value += 1
+        return Verdict(allowed=True, redirected=True, reason="processed",
+                       src_owner=src_id, dst_owner=dst_id)
+
+    def check_packet(self, packet: Packet,
+                     now: Optional[float] = None) -> Verdict:
+        """:meth:`check` for an already-materialised :class:`Packet`."""
+        return self.check(packet.src.value, packet.dst.value,
+                          proto=packet.proto, sport=packet.sport,
+                          dport=packet.dport, size=packet.size, now=now)
+
+
+class TrafficController:
+    """Framework-free embedding: one ``allow(client)`` call per request.
+
+    Wraps a :class:`ServiceFacade` with the protected service's address
+    (the ``dst`` of every check) and an optional admission
+    :class:`TokenBucket` consulted *before* any ownership work — the
+    cheap front door that bounds total check rate under flood.
+    """
+
+    def __init__(self, facade: ServiceFacade, service_address, *,
+                 proto: Protocol = Protocol.TCP, dport: int = 80,
+                 admission: Optional[TokenBucket] = None) -> None:
+        self.facade = facade
+        self.service_address = _as_int(service_address)
+        self.proto = proto
+        self.dport = dport
+        self.admission = admission
+        self._m_admission_rejected = _ADMISSION_REJECTED.labelled()
+
+    def allow(self, client, *, dst=None, cost: float = 1.0,
+              now: Optional[float] = None) -> Verdict:
+        """Admission bucket first, then the ownership/pipeline check."""
+        if now is None:
+            now = self.facade.clock.now()
+        if self.admission is not None and not self.admission.admit(now, cost=cost):
+            self._m_admission_rejected.value += 1
+            return DROP_ADMISSION
+        dst_addr = self.service_address if dst is None else dst
+        return self.facade.check(client, dst_addr, proto=self.proto,
+                                 dport=self.dport, now=now)

@@ -1,0 +1,53 @@
+"""Tests for the clock seam (service/clock.py + net SimClock)."""
+
+import pytest
+
+from repro.net import Simulator
+from repro.service import Clock, ManualClock, WallClock
+
+
+class TestProtocol:
+    def test_all_clocks_satisfy_the_protocol(self):
+        sim = Simulator()
+        for clock in (WallClock(), ManualClock(), sim.clock):
+            assert isinstance(clock, Clock)
+
+    def test_a_non_clock_does_not(self):
+        assert not isinstance(object(), Clock)
+
+
+class TestWallClock:
+    def test_starts_near_zero_and_advances(self):
+        import time
+
+        clock = WallClock()
+        first = clock.now()
+        assert 0.0 <= first < 1.0
+        time.sleep(0.002)
+        assert clock.now() > first
+
+
+class TestManualClock:
+    def test_starts_where_told_and_advances_explicitly(self):
+        clock = ManualClock(10.0)
+        assert clock.now() == 10.0
+        assert clock.advance(2.5) == 12.5
+        assert clock.now() == 12.5
+
+    def test_never_advances_on_its_own(self):
+        clock = ManualClock()
+        assert clock.now() == clock.now() == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestSimClock:
+    def test_follows_simulated_time(self):
+        sim = Simulator()
+        clock = sim.clock
+        assert clock.now() == 0.0
+        sim.schedule(3.0, int)
+        sim.run()
+        assert clock.now() == 3.0

@@ -1,0 +1,198 @@
+"""Tests for the live service facade and traffic controller."""
+
+import pytest
+
+from repro.core import ComponentGraph, NetworkUser, OwnershipRegistry
+from repro.core.components import PrefixBlacklist, RateLimiterComponent
+from repro.net import IPv4Address, Prefix, Simulator
+from repro.service import ManualClock, ServiceFacade, TrafficController
+from repro.service.facade import DROP_ADMISSION, PASS_DIRECT
+from repro.util import TokenBucket
+
+A = IPv4Address.parse
+
+
+def blacklist_graph(prefix="203.0.113.0/24", name="blk"):
+    g = ComponentGraph(name)
+    g.chain(PrefixBlacklist("b", [Prefix.parse(prefix)]))
+    return g
+
+
+def make_facade(**kwargs):
+    facade = ServiceFacade(clock=ManualClock(), **kwargs)
+    user = NetworkUser("acme", prefixes=[Prefix.parse("10.1.0.0/16")])
+    facade.subscribe(user, dst_graph=blacklist_graph())
+    return facade, user
+
+
+class TestCheck:
+    def test_unowned_flow_returns_the_shared_direct_verdict(self):
+        facade, _ = make_facade()
+        verdict = facade.check("172.16.0.1", "172.16.9.9")
+        assert verdict is PASS_DIRECT
+        assert verdict.allowed and not verdict.redirected
+        assert verdict.action == "pass"
+
+    def test_owned_clean_flow_is_processed_and_passes(self):
+        facade, _ = make_facade()
+        verdict = facade.check("198.51.100.7", "10.1.0.5")
+        assert verdict.allowed and verdict.redirected
+        assert verdict.reason == "processed"
+        assert verdict.dst_owner == "acme"
+        assert verdict.src_owner is None
+
+    def test_owned_blacklisted_flow_is_filtered(self):
+        facade, _ = make_facade()
+        verdict = facade.check("203.0.113.9", "10.1.0.5")
+        assert not verdict.allowed and verdict.redirected
+        assert verdict.reason == "filtered"
+        assert verdict.action == "drop"
+
+    def test_address_coercion_int_str_and_object_agree(self):
+        facade, _ = make_facade()
+        as_str = facade.check("203.0.113.9", "10.1.0.5")
+        as_int = facade.check(int(A("203.0.113.9")), int(A("10.1.0.5")))
+        as_obj = facade.check(A("203.0.113.9"), A("10.1.0.5"))
+        assert as_str.reason == as_int.reason == as_obj.reason == "filtered"
+
+    def test_check_packet_matches_check(self):
+        from repro.net import Packet
+
+        facade, _ = make_facade()
+        pkt = Packet.udp(A("203.0.113.9"), A("10.1.0.5"))
+        assert facade.check_packet(pkt).reason == "filtered"
+
+    def test_counters_track_verdicts(self):
+        facade, _ = make_facade()
+        facade.check("172.16.0.1", "172.16.9.9")   # direct
+        facade.check("198.51.100.7", "10.1.0.5")   # processed
+        facade.check("203.0.113.9", "10.1.0.5")    # filtered
+        assert facade._m_pass.value == 2
+        assert facade._m_drop.value == 1
+        assert facade._m_redirected.value == 2
+
+
+class TestLiveReconfiguration:
+    """Regression: management actions must invalidate cached verdicts.
+
+    A flow whose redirect verdict is already cached would otherwise keep
+    being filtered after ``set_active(False)`` (or keep bypassing a fresh
+    install after ``uninstall``) for as long as the LRU held the entry.
+    """
+
+    def test_set_active_false_clears_cached_redirect_verdicts(self):
+        facade, _ = make_facade()
+        assert facade.check("203.0.113.9", "10.1.0.5").reason == "filtered"
+        facade.set_active("acme", False)
+        verdict = facade.check("203.0.113.9", "10.1.0.5")
+        assert verdict is PASS_DIRECT
+
+    def test_reactivation_restores_filtering(self):
+        facade, _ = make_facade()
+        facade.set_active("acme", False)
+        assert facade.check("203.0.113.9", "10.1.0.5") is PASS_DIRECT
+        facade.set_active("acme", True)
+        assert facade.check("203.0.113.9", "10.1.0.5").reason == "filtered"
+
+    def test_uninstall_clears_cached_redirect_verdicts(self):
+        facade, _ = make_facade()
+        assert facade.check("203.0.113.9", "10.1.0.5").reason == "filtered"
+        assert facade.uninstall("acme")
+        assert facade.check("203.0.113.9", "10.1.0.5") is PASS_DIRECT
+
+    def test_reinstall_after_uninstall_filters_again(self):
+        facade, user = make_facade()
+        facade.uninstall("acme")
+        assert facade.check("203.0.113.9", "10.1.0.5") is PASS_DIRECT
+        facade.install(user, dst_graph=blacklist_graph(name="blk2"))
+        assert facade.check("203.0.113.9", "10.1.0.5").reason == "filtered"
+
+
+class TestClockSeam:
+    def test_injected_clock_drives_time_dependent_components(self):
+        """A rate limiter inside the pipeline sees facade-clock time: the
+        same flow passes or drops depending only on advanced time."""
+        clock = ManualClock()
+        facade = ServiceFacade(clock=clock)
+        user = NetworkUser("acme", prefixes=[Prefix.parse("10.1.0.0/16")])
+        g = ComponentGraph("rl")
+        g.chain(RateLimiterComponent("limit", rate_bps=8 * 512.0,
+                                     burst_bytes=512.0))
+        facade.subscribe(user, dst_graph=g)
+        assert facade.check("172.16.0.1", "10.1.0.5", size=512).allowed
+        # bucket empty, no time has passed
+        assert not facade.check("172.16.0.1", "10.1.0.5", size=512).allowed
+        clock.advance(1.0)  # refills 512 bytes
+        assert facade.check("172.16.0.1", "10.1.0.5", size=512).allowed
+
+    def test_sim_clock_drives_the_same_facade(self):
+        sim = Simulator()
+        facade = ServiceFacade(clock=sim.clock)
+        user = NetworkUser("acme", prefixes=[Prefix.parse("10.1.0.0/16")])
+        g = ComponentGraph("rl")
+        g.chain(RateLimiterComponent("limit", rate_bps=8 * 512.0,
+                                     burst_bytes=512.0))
+        facade.subscribe(user, dst_graph=g)
+        assert facade.check("172.16.0.1", "10.1.0.5", size=512).allowed
+        assert not facade.check("172.16.0.1", "10.1.0.5", size=512).allowed
+        sim.schedule(1.0, int)
+        sim.run()
+        assert facade.check("172.16.0.1", "10.1.0.5", size=512).allowed
+
+    def test_explicit_now_overrides_the_clock(self):
+        facade, _ = make_facade()
+        # no exception, verdict computed at the caller's timestamp
+        assert facade.check("198.51.100.7", "10.1.0.5", now=123.0).allowed
+
+
+class TestSubscribe:
+    def test_subscribe_registers_ownership_once(self):
+        facade = ServiceFacade()
+        user = NetworkUser("acme", prefixes=[Prefix.parse("10.1.0.0/16")])
+        facade.subscribe(user, dst_graph=blacklist_graph())
+        facade.subscribe(user, src_graph=blacklist_graph(name="blk2"))
+        assert len(facade.registry) == 1
+        assert facade.core.services["acme"].src_graph is not None
+
+    def test_existing_registry_is_respected(self):
+        registry = OwnershipRegistry()
+        user = NetworkUser("acme", prefixes=[Prefix.parse("10.1.0.0/16")])
+        registry.register(user)
+        facade = ServiceFacade(registry)
+        facade.subscribe(user, dst_graph=blacklist_graph())
+        assert len(registry) == 1
+
+
+class TestTrafficController:
+    def make_controller(self, admission=None):
+        facade, _ = make_facade()
+        return TrafficController(facade, "10.1.0.5", admission=admission)
+
+    def test_allow_checks_client_against_service_address(self):
+        controller = self.make_controller()
+        assert controller.allow("198.51.100.7").reason == "processed"
+        assert controller.allow("203.0.113.9").reason == "filtered"
+
+    def test_admission_bucket_rejects_before_ownership(self):
+        controller = self.make_controller(
+            admission=TokenBucket(rate=0.0, burst=1.0))
+        assert controller.allow("198.51.100.7").allowed
+        verdict = controller.allow("198.51.100.7")
+        assert verdict is DROP_ADMISSION
+        assert verdict.reason == "admission"
+        assert controller._m_admission_rejected.value == 1
+
+    def test_admission_refills_with_facade_time(self):
+        facade, _ = make_facade()
+        clock = facade.clock
+        controller = TrafficController(
+            facade, "10.1.0.5", admission=TokenBucket(rate=1.0, burst=1.0))
+        assert controller.allow("198.51.100.7").allowed
+        assert not controller.allow("198.51.100.7").allowed
+        clock.advance(1.0)
+        assert controller.allow("198.51.100.7").allowed
+
+    def test_dst_override(self):
+        controller = self.make_controller()
+        verdict = controller.allow("172.16.0.1", dst="172.16.9.9")
+        assert verdict is PASS_DIRECT

@@ -1,0 +1,92 @@
+"""Tests for the open-loop load harness (tools/loadgen.py)."""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import loadgen  # noqa: E402
+
+
+class TestWorld:
+    def test_world_is_deterministic_per_seed(self):
+        _, src_a, dst_a = loadgen.build_world(8, 0.1, 256, seed=1)
+        _, src_b, dst_b = loadgen.build_world(8, 0.1, 256, seed=1)
+        assert (src_a == src_b).all() and (dst_a == dst_b).all()
+
+    def test_owned_share_zero_never_targets_subscribers(self):
+        facade, src, dst = loadgen.build_world(8, 0.0, 256, seed=1)
+        for d in dst[:32]:
+            assert facade.registry.owner_of(int(d)) is None
+
+    def test_owned_share_one_always_targets_subscribers(self):
+        facade, _, dst = loadgen.build_world(8, 1.0, 256, seed=1)
+        for d in dst[:32]:
+            assert facade.registry.owner_of(int(d)) is not None
+
+
+class TestVerdictHash:
+    def test_same_seed_same_hash(self):
+        h = []
+        for _ in range(2):
+            facade, src, dst = loadgen.build_world(8, 0.2, 256, seed=3)
+            h.append(loadgen.verdict_hash(facade, src, dst, 256, 1000.0))
+        assert h[0] == h[1]
+
+    def test_different_seed_different_hash(self):
+        facade_a, src_a, dst_a = loadgen.build_world(8, 0.2, 256, seed=3)
+        facade_b, src_b, dst_b = loadgen.build_world(8, 0.2, 256, seed=4)
+        assert (loadgen.verdict_hash(facade_a, src_a, dst_a, 256, 1000.0)
+                != loadgen.verdict_hash(facade_b, src_b, dst_b, 256, 1000.0))
+
+
+class TestOpenLoop:
+    def test_small_run_completes_all_checks(self):
+        facade, src, dst = loadgen.build_world(8, 0.1, 256, seed=1)
+        result = loadgen.open_loop_run(facade, src, dst, rate=5000.0,
+                                       duration=0.05, workers=2)
+        assert result["checks"] == 250
+        assert result["achieved_rate"] > 0
+        assert result["late_max_ms"] >= 0
+
+    def test_zero_duration_skips_the_phase(self):
+        facade, src, dst = loadgen.build_world(8, 0.1, 256, seed=1)
+        result = loadgen.open_loop_run(facade, src, dst, rate=5000.0,
+                                       duration=0.0, workers=1)
+        assert result["checks"] == 0
+
+
+class TestCli:
+    def test_determinism_only_run(self, capsys):
+        assert loadgen.main(["--duration", "0", "--subscribers", "8",
+                             "--flows", "256", "--hash-checks", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict stream: sha256=" in out
+
+    def test_snapshot_and_schema_check_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "snap.json"
+        args = ["--duration", "0.05", "--rate", "5000", "--subscribers", "8",
+                "--flows", "256", "--hash-checks", "256"]
+        assert loadgen.main(args + ["--out", str(out_file)]) == 0
+        snapshot = json.loads(out_file.read_text())
+        assert set(snapshot) >= {"config", "verdict_hash", "throughput",
+                                 "metrics"}
+        assert loadgen.main(args + ["--check-schema", str(out_file)]) == 0
+        assert "schema check: ok" in capsys.readouterr().out
+
+    def test_min_rate_gate_fails_when_unreachable(self, capsys):
+        assert loadgen.main(["--duration", "0.05", "--rate", "1000",
+                             "--subscribers", "8", "--flows", "256",
+                             "--hash-checks", "64",
+                             "--min-rate", "100000000"]) == 1
+        assert "rate gate" in capsys.readouterr().err
+
+    def test_committed_snapshot_schema_matches_a_fresh_run(self, capsys):
+        committed = REPO_ROOT / "BENCH_service.json"
+        assert committed.exists(), "BENCH_service.json must be committed"
+        assert loadgen.main(["--duration", "0.05", "--rate", "5000",
+                             "--subscribers", "8", "--flows", "256",
+                             "--hash-checks", "64",
+                             "--check-schema", str(committed)]) == 0

@@ -92,7 +92,8 @@ class TestObsCommand:
         out = capsys.readouterr().out
         for name in ("net.link.dropped_packets", "sim.events_processed",
                      "device.flow_cache_hits", "rpc.backoff_s",
-                     "faults.injected", "scenario.attack_survival"):
+                     "faults.injected", "scenario.attack_survival",
+                     "service.checks", "service.admission_rejected"):
             assert name in out
 
     def test_json_output_is_machine_readable(self, capsys):
@@ -136,6 +137,87 @@ class TestMetricsOut:
             for line in out_file.read_text().splitlines()
             if json.loads(line)["name"] == "scenario.attack_survival")
         assert f"attack_survival   : {round(survival, 4)}" in printed
+
+
+class TestServeCommand:
+    def _request(self, port, tries=50):
+        import http.client
+        import time
+
+        for attempt in range(tries):
+            try:
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=2)
+                conn.request("GET", "/")
+                response = conn.getresponse()
+                body = response.read()
+                conn.close()
+                return response.status, body
+            except OSError:
+                if attempt == tries - 1:
+                    raise
+                time.sleep(0.05)
+
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    def test_serve_answers_and_exits_after_max_requests(self, capsys):
+        import threading
+
+        port = self._free_port()
+        status = []
+        thread = threading.Thread(
+            target=lambda: status.append(main(
+                ["serve", "--port", str(port), "--max-requests", "2"])))
+        thread.start()
+        try:
+            # 127.0.0.1 is unowned by the protected subscriber -> direct pass
+            assert self._request(port) == (200, b"ok\n")
+            assert self._request(port) == (200, b"ok\n")
+        finally:
+            thread.join(timeout=10)
+        assert status == [0]
+        out = capsys.readouterr().out
+        assert f"http://127.0.0.1:{port}/" in out
+        assert "served 2 checks: 2 passed, 0 dropped" in out
+
+    def test_admission_bucket_turns_away_excess_requests(self, capsys):
+        import threading
+
+        port = self._free_port()
+        status = []
+        thread = threading.Thread(
+            target=lambda: status.append(main(
+                ["serve", "--port", str(port), "--max-requests", "2",
+                 "--admit-rate", "0.001", "--admit-burst", "1"])))
+        thread.start()
+        try:
+            assert self._request(port)[0] == 200
+            code, body = self._request(port)
+        finally:
+            thread.join(timeout=10)
+        assert status == [0]
+        assert code == 429
+        assert body == b"blocked by traffic control service\n"
+        assert "1 admission-rejected" in capsys.readouterr().out
+
+    def test_build_serve_app_blocks_blacklisted_sources(self):
+        from repro.cli import _build_serve_app
+
+        facade, _controller, app = _build_serve_app(
+            "10.0.0.0/24", ["203.0.113.0/24"], None)
+        captured = {}
+
+        def start_response(status, headers):
+            captured["status"] = status
+
+        body = b"".join(app({"REMOTE_ADDR": "203.0.113.5"}, start_response))
+        assert captured["status"] == "403 Forbidden"
+        assert body == b"blocked by traffic control service\n"
+        assert facade._m_drop.value == 1
 
 
 class TestScenarioCommand:

@@ -88,3 +88,66 @@ class TestConformance:
         tb = TokenBucket(rate=rate, burst=rate)
         for i in range(1, 100):
             assert tb.admit(i * 1.0, cost=rate)
+
+
+class TestProperties:
+    """Refill monotonicity, burst cap, and admit cost accounting."""
+
+    @given(
+        rate=st.floats(min_value=0.1, max_value=1e3),
+        burst=st.floats(min_value=0.5, max_value=1e3),
+        times=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                       min_size=2, max_size=50),
+    )
+    def test_refill_monotone_and_burst_capped(self, rate, burst, times):
+        """With no admissions in between, the level only refills — peek at
+        non-decreasing times is non-decreasing and never exceeds burst."""
+        tb = TokenBucket(rate=rate, burst=burst)
+        tb.admit(0.0, cost=burst)  # drain so the refill is observable
+        last = tb.peek(0.0)
+        for t in sorted(times):
+            tokens = tb.peek(t)
+            assert tokens >= last - 1e-9
+            assert tokens <= burst + 1e-9
+            last = tokens
+
+    @given(
+        rate=st.floats(min_value=0.1, max_value=1e3),
+        burst=st.floats(min_value=0.5, max_value=1e3),
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1.0),    # inter-arrival
+                st.floats(min_value=0.01, max_value=50.0),  # cost
+            ),
+            min_size=1, max_size=100,
+        ),
+    )
+    def test_admit_cost_accounting(self, rate, burst, steps):
+        """Every admit call lands in exactly one counter, and the admitted
+        volume plus the remaining level never exceeds what the bucket
+        could have held (initial burst + refill)."""
+        tb = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        admitted_volume = 0.0
+        for dt, cost in steps:
+            now += dt
+            if tb.admit(now, cost=cost):
+                admitted_volume += cost
+        assert tb.admitted + tb.rejected == len(steps)
+        assert admitted_volume + tb.peek(now) <= burst + rate * now + 1e-6
+
+    @given(
+        burst=st.floats(min_value=1.0, max_value=1e3),
+        costs=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                       min_size=1, max_size=50),
+    )
+    def test_zero_rate_exact_accounting(self, burst, costs):
+        """With no refill the bucket is pure subtraction: the level is
+        exactly burst minus the admitted volume, and rejections consume
+        nothing."""
+        tb = TokenBucket(rate=0.0, burst=burst)
+        admitted_volume = 0.0
+        for cost in costs:
+            if tb.admit(0.0, cost=cost):
+                admitted_volume += cost
+        assert tb.peek(0.0) == pytest.approx(burst - admitted_volume)

@@ -62,6 +62,11 @@ _BATCH_NAME = re.compile(r"^(?P<base>test_batch_\w+)\[(?P<batch>\d+)\]$")
 #: forwarding-path one on dashboards.
 _SKETCH_NAME = re.compile(r"^(?P<base>test_sketch_\w+)\[(?P<batch>\d+)\]$")
 
+#: Live-service benchmarks publish ``bench.service.<field>`` gauges, so
+#: the facade's check path stays a separate dashboard dimension from the
+#: simulator's forwarding path.
+_SERVICE_NAME = re.compile(r"^(?P<base>test_service_\w+)$")
+
 #: The scalar/batched pair the perf-smoke ratio compares, with the
 #: packets each moves per round (the scalar benchmark sends 500 packets;
 #: the batch one sends its batch size).
@@ -72,6 +77,11 @@ BATCH_BENCH = ("test_batch_forwarding_path", 1024)
 #: one vectorised Count-Min update of a 1024-key batch.
 SKETCH_SCALAR_BENCH = ("test_sketch_scalar_update", 500)
 SKETCH_BATCH_BENCH = ("test_sketch_batch_update", 1024)
+
+#: The live-facade pair the perf-smoke ratio compares: 256 unowned-flow
+#: checks (fast path) vs 256 owned-flow checks (full pipeline).
+SERVICE_FAST_BENCH = ("test_service_check_fastpath", 256)
+SERVICE_PIPELINE_BENCH = ("test_service_check_pipeline", 256)
 
 
 def run_benchmarks(pytest_args: list[str]) -> dict:
@@ -98,8 +108,14 @@ def to_registry(raw: dict) -> MetricRegistry:
         stats = bench["stats"]
         batched = _BATCH_NAME.match(bench["name"])
         sketched = _SKETCH_NAME.match(bench["name"])
+        serviced = _SERVICE_NAME.match(bench["name"])
         for field, source in BENCH_FIELDS.items():
-            if batched:
+            if serviced:
+                registry.gauge(f"bench.service.{field}",
+                               help=f"pytest-benchmark {field} per live "
+                                    "service-check benchmark",
+                               benchmark=serviced["base"]).set(stats[source])
+            elif batched:
                 registry.gauge(f"bench.batch.{field}",
                                help=f"pytest-benchmark {field} per batch size",
                                benchmark=batched["base"],
@@ -122,7 +138,10 @@ def normalize(raw: dict) -> dict:
     registry = to_registry(raw)
     benchmarks: dict[str, dict] = {}
     for name, _kind, labels, value in registry.samples(include_timing=True):
-        if name.startswith(("bench.batch.", "bench.sketch.")):
+        if name.startswith("bench.service."):
+            field = name.split(".", 2)[2]
+            key = labels["benchmark"]
+        elif name.startswith(("bench.batch.", "bench.sketch.")):
             field = name.split(".", 2)[2]
             key = f"{labels['benchmark']}[{labels['batch']}]"
         else:
@@ -147,6 +166,8 @@ def schema_of(normalized: dict) -> dict:
         metrics += [f"bench.batch.{field}" for field in sorted(BENCH_FIELDS)]
     if any(_SKETCH_NAME.match(name) for name in names):
         metrics += [f"bench.sketch.{field}" for field in sorted(BENCH_FIELDS)]
+    if any(_SERVICE_NAME.match(name) for name in names):
+        metrics += [f"bench.service.{field}" for field in sorted(BENCH_FIELDS)]
     return {
         "metrics": sorted(metrics),
         "benchmarks": sorted(normalized["benchmarks"]),
@@ -182,6 +203,21 @@ def sketch_ratio(normalized: dict) -> float | None:
         return None
     return ((scalar["median_s"] / scalar_keys)
             / (batched["median_s"] / batch_size))
+
+
+def service_ratio(normalized: dict) -> float | None:
+    """Fast-path vs pipeline per-check ratio for the live facade (>1 =
+    the unowned fast path is cheaper).  ``None`` when either benchmark is
+    absent from the snapshot."""
+    fast_name, fast_checks = SERVICE_FAST_BENCH
+    pipe_name, pipe_checks = SERVICE_PIPELINE_BENCH
+    benches = normalized["benchmarks"]
+    fast = benches.get(fast_name)
+    pipe = benches.get(pipe_name)
+    if not fast or not pipe:
+        return None
+    return ((pipe["median_s"] / pipe_checks)
+            / (fast["median_s"] / fast_checks))
 
 
 def check_schema(normalized: dict, schema_path: Path) -> list[str]:
@@ -249,6 +285,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail unless the batched sketch update is at "
                              "least MIN times faster per key than the exact "
                              "per-packet Counter path")
+    parser.add_argument("--check-service-ratio", type=float, metavar="MIN",
+                        help="fail unless the live facade's unowned fast "
+                             "path is at least MIN times cheaper per check "
+                             "than the owned-flow pipeline")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest (prefix "
                              "with -- to separate)")
@@ -304,6 +344,20 @@ def main(argv: list[str] | None = None) -> int:
         if ratio < args.check_sketch_ratio:
             print(f"sketch ratio: {ratio:.2f} below floor "
                   f"{args.check_sketch_ratio:g} — vectorised sketch path "
+                  "regressed", file=sys.stderr)
+            return 1
+    if args.check_service_ratio is not None:
+        ratio = service_ratio(normalized)
+        if ratio is None:
+            print("service ratio: fast-path or pipeline service benchmark "
+                  "missing from this run", file=sys.stderr)
+            return 1
+        print(f"service ratio: the unowned fast path is {ratio:.1f}x cheaper "
+              f"per check than the owned-flow pipeline (floor "
+              f"{args.check_service_ratio:g}x)")
+        if ratio < args.check_service_ratio:
+            print(f"service ratio: {ratio:.2f} below floor "
+                  f"{args.check_service_ratio:g} — live check fast path "
                   "regressed", file=sys.stderr)
             return 1
     if args.compare:

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Deterministic open-loop load harness for the live service facade.
+
+Usage::
+
+    python tools/loadgen.py                          # defaults, print summary
+    python tools/loadgen.py --rate 150000 --duration 1.5 --min-rate 100000
+    python tools/loadgen.py --out BENCH_service.json # commit the snapshot
+    python tools/loadgen.py --duration 0             # determinism phase only
+    python tools/loadgen.py --check-schema BENCH_service.json
+
+Two phases over one seeded world (``--subscribers`` users owning disjoint
+/16s, each with a small filter graph; ``--owned-share`` of generated
+flows hit a subscriber prefix, the rest take the direct fast path):
+
+1. **determinism** — the first ``--hash-checks`` flows are checked at
+   fixed simulated timestamps (``ManualClock``) and their verdict stream
+   is hashed (sha256 over one byte per verdict, in flow order).  Two runs
+   with the same seed and config must print the same hash — the CI
+   load-smoke job diffs them.
+2. **throughput** — an *open-loop* run: ``rate * duration`` checks are
+   assigned arrival times ``t0 + j/rate`` and issued on schedule by
+   ``--workers`` threads (strided assignment).  A worker that falls
+   behind issues immediately and records its lateness — offered load
+   never adapts to service speed, which is what makes the measured
+   sustained rate honest.  ``--min-rate`` turns the result into a CI
+   gate.
+
+The snapshot written by ``--out`` mirrors ``BENCH_micro.json``: a small,
+diff-friendly JSON with the config, the verdict hash, the throughput
+stats, and the facade's ``service.*`` counter values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core import ComponentGraph, NetworkUser, OwnershipRegistry  # noqa: E402
+from repro.core.components import HeaderFilter, HeaderMatch  # noqa: E402
+from repro.net import Prefix, Protocol  # noqa: E402
+from repro.service import ManualClock, ServiceFacade  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_service.json"
+
+#: Single byte per verdict in the hashed stream.
+_VERDICT_BYTE = {"direct": b"d", "processed": b"p", "filtered": b"f",
+                 "admission": b"a"}
+
+
+def build_world(subscribers: int, owned_share: float, flows: int,
+                seed: int) -> tuple[ServiceFacade, np.ndarray, np.ndarray]:
+    """A seeded facade world plus ``flows`` precomputed (src, dst) pairs.
+
+    Subscribers own disjoint /16s under 10.0.0.0/8 and install a
+    dest-stage graph of two TCP/7 header filters (drops nothing at dport
+    80 — the pipeline runs end to end and passes).  ``owned_share`` of the
+    generated flows target a random subscriber address; the rest target
+    unowned 172.16/12 space and take the direct fast path.
+    """
+    registry = OwnershipRegistry()
+    facade = ServiceFacade(registry, clock=ManualClock())
+    for i in range(subscribers):
+        user = NetworkUser(f"user-{i}", prefixes=[Prefix((i + 1) << 16, 16)])
+        graph = ComponentGraph(f"svc:{user.user_id}")
+        graph.chain(
+            HeaderFilter("f0", HeaderMatch(proto=Protocol.TCP, dport=7)),
+            HeaderFilter("f1", HeaderMatch(proto=Protocol.TCP, dport=7)),
+        )
+        registry.register(user)
+        facade.install(user, dst_graph=graph)
+    rng = np.random.default_rng(seed)
+    src = (0xAC10_0000 + rng.integers(0, 1 << 16, flows)).astype(np.int64)
+    dst = (0xAC20_0000 + rng.integers(0, 1 << 16, flows)).astype(np.int64)
+    if subscribers and owned_share > 0:
+        owned = rng.random(flows) < owned_share
+        owners = rng.integers(0, subscribers, flows)
+        hosts = rng.integers(1, 1 << 16, flows)
+        dst[owned] = (((owners[owned] + 1) << 16) + hosts[owned])
+    return facade, src, dst
+
+
+def verdict_hash(facade: ServiceFacade, src: np.ndarray, dst: np.ndarray,
+                 checks: int, rate: float) -> str:
+    """Hash the verdict stream of the first ``checks`` flows, issued at
+    deterministic simulated timestamps ``j / rate``."""
+    digest = hashlib.sha256()
+    check = facade.check
+    dt = 1.0 / rate if rate > 0 else 0.0
+    n = min(checks, len(src))
+    for j in range(n):
+        verdict = check(int(src[j]), int(dst[j]), dport=80, now=j * dt)
+        digest.update(_VERDICT_BYTE.get(verdict.reason, b"?"))
+    return digest.hexdigest()
+
+
+def open_loop_run(facade: ServiceFacade, src: np.ndarray, dst: np.ndarray,
+                  rate: float, duration: float, workers: int) -> dict:
+    """Issue ``rate * duration`` checks at their scheduled arrival times.
+
+    Open loop: arrival ``j`` is due at ``t0 + j/rate`` regardless of how
+    fast earlier checks completed; a late worker fires immediately and
+    the lateness is recorded.  Workers take strided index ranges, so the
+    flow mix each sees is identical across worker counts.
+    """
+    total = int(rate * duration)
+    if total <= 0:
+        return {"offered_rate": rate, "duration_s": duration, "checks": 0}
+    n_flows = len(src)
+    interval = 1.0 / rate
+    barrier = threading.Barrier(workers + 1)
+    late_max = [0.0] * workers
+    late_sum = [0.0] * workers
+    done = [0] * workers
+    t0_box = [0.0]
+
+    def worker(w: int) -> None:
+        check = facade.check
+        perf = time.perf_counter
+        sleep = time.sleep
+        barrier.wait()
+        t0 = t0_box[0]
+        lmax = lsum = 0.0
+        count = 0
+        for j in range(w, total, workers):
+            scheduled = t0 + j * interval
+            while True:
+                ahead = scheduled - perf()
+                if ahead <= 0.0:
+                    break
+                if ahead > 0.0005:
+                    sleep(ahead - 0.0004)
+                # else: spin until due (sub-0.5 ms)
+            late = perf() - scheduled
+            if late > lmax:
+                lmax = late
+            lsum += late
+            k = j % n_flows
+            check(int(src[k]), int(dst[k]), dport=80, now=0.0)
+            count += 1
+        late_max[w] = lmax
+        late_sum[w] = lsum
+        done[w] = count
+
+    threads = [threading.Thread(target=worker, args=(w,), daemon=True)
+               for w in range(workers)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0_box[0] = time.perf_counter() + 0.005  # common start, 5 ms out
+    start = t0_box[0]
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+    checks = sum(done)
+    return {
+        "offered_rate": rate,
+        "duration_s": duration,
+        "workers": workers,
+        "checks": checks,
+        "elapsed_s": round(elapsed, 4),
+        "achieved_rate": round(checks / elapsed, 1) if elapsed > 0 else 0.0,
+        "late_max_ms": round(max(late_max) * 1e3, 3),
+        "late_mean_us": round(sum(late_sum) / checks * 1e6, 2),
+    }
+
+
+def facade_counters(facade: ServiceFacade) -> dict:
+    core = facade.core
+    return {
+        "service.checks[pass]": facade._m_pass.value,
+        "service.checks[drop]": facade._m_drop.value,
+        "service.redirected": facade._m_redirected.value,
+        "service.dropped": core.m_dropped.value,
+        "service.cache_hits": core.m_fc_hits.value,
+        "service.cache_misses": core.m_fc_misses.value,
+    }
+
+
+def schema_of(snapshot: dict) -> dict:
+    """The name-level shape of a snapshot (keys, not values)."""
+    return {
+        "keys": sorted(snapshot),
+        "config": sorted(snapshot.get("config", ())),
+        "throughput": sorted(snapshot.get("throughput", ())),
+        "metrics": sorted(snapshot.get("metrics", ())),
+    }
+
+
+def check_schema(snapshot: dict, schema_path: Path) -> list[str]:
+    """Differences between this run's shape and a committed snapshot's."""
+    with open(schema_path) as fh:
+        want = schema_of(json.load(fh))
+    have = schema_of(snapshot)
+    problems = []
+    for key, wanted in want.items():
+        missing = sorted(set(wanted) - set(have.get(key, ())))
+        if missing:
+            problems.append(f"{key} missing vs {schema_path.name}: {missing}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rate", type=float, default=150_000.0,
+                        help="offered load in checks/sec (default 150k)")
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="throughput-phase length in seconds "
+                             "(0 = determinism phase only)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="load-generating threads (default 1)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--subscribers", type=int, default=256,
+                        help="installed subscriber services (default 256)")
+    parser.add_argument("--owned-share", type=float, default=0.0,
+                        help="share of flows owned by a subscriber "
+                             "(default 0 — the no-op fast-path config)")
+    parser.add_argument("--flows", type=int, default=4096,
+                        help="distinct precomputed flows cycled through "
+                             "(default 4096 — exactly the flow-cache size)")
+    parser.add_argument("--hash-checks", type=int, default=20_000,
+                        help="determinism-phase checks hashed (default 20k)")
+    parser.add_argument("--min-rate", type=float, default=None,
+                        help="fail unless the achieved rate is at least "
+                             "this (CI load-smoke gate)")
+    parser.add_argument("--out", type=Path, default=None, metavar="FILE",
+                        help=f"write the JSON snapshot (e.g. {DEFAULT_OUT})")
+    parser.add_argument("--check-schema", type=Path, metavar="SNAPSHOT",
+                        help="fail unless this run's keys cover the "
+                             "committed snapshot's (e.g. BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    facade, src, dst = build_world(args.subscribers, args.owned_share,
+                                   args.flows, args.seed)
+    digest = verdict_hash(facade, src, dst, args.hash_checks,
+                          args.rate or 1.0)
+    print(f"verdict stream: sha256={digest} "
+          f"({min(args.hash_checks, len(src))} checks, seed={args.seed})")
+
+    throughput = open_loop_run(facade, src, dst, args.rate, args.duration,
+                               max(1, args.workers))
+    if throughput.get("checks"):
+        print(f"open loop: {throughput['checks']} checks in "
+              f"{throughput['elapsed_s']}s -> "
+              f"{throughput['achieved_rate']:.0f}/s "
+              f"(offered {args.rate:.0f}/s, "
+              f"max lateness {throughput['late_max_ms']}ms)")
+
+    snapshot = {
+        "generated_by": "tools/loadgen.py",
+        "config": {
+            "seed": args.seed, "subscribers": args.subscribers,
+            "owned_share": args.owned_share, "flows": args.flows,
+            "hash_checks": args.hash_checks, "rate": args.rate,
+            "duration_s": args.duration, "workers": max(1, args.workers),
+        },
+        "verdict_hash": digest,
+        "throughput": throughput,
+        "metrics": facade_counters(facade),
+    }
+    if args.out:
+        args.out.write_text(json.dumps(snapshot, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"wrote {args.out}")
+    if args.check_schema:
+        problems = check_schema(snapshot, args.check_schema)
+        if problems:
+            for problem in problems:
+                print(f"schema check: {problem}", file=sys.stderr)
+            return 1
+        print(f"schema check: ok ({args.check_schema})")
+    if args.min_rate is not None:
+        achieved = throughput.get("achieved_rate", 0.0)
+        if achieved < args.min_rate:
+            print(f"rate gate: achieved {achieved:.0f}/s below floor "
+                  f"{args.min_rate:.0f}/s", file=sys.stderr)
+            return 1
+        print(f"rate gate: ok ({achieved:.0f}/s >= {args.min_rate:.0f}/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
