@@ -294,3 +294,68 @@ def test_sketch_batch_update(benchmark, sketch_traffic, batch_size):
         collector.process_batch(batch, rows, ctx)
 
     benchmark(run_batch)
+
+
+@pytest.fixture(scope="module")
+def policy_world():
+    """A dropping/filtering graph (HeaderFilter -> PrefixBlacklist), 1024
+    mixed packets, and the same burst as one SoA batch — the two inputs
+    the policy compiler's programs and the interpreted walk share."""
+    from repro.core.components import ComponentContext, PrefixBlacklist
+
+    def build() -> ComponentGraph:
+        graph = ComponentGraph("bench-policy")
+        graph.chain(
+            HeaderFilter("f-udp", HeaderMatch(proto=Protocol.UDP,
+                                              dport_not_in=(53,))),
+            PrefixBlacklist("bl", [Prefix.parse("128.0.0.0/2")]),
+        )
+        return graph
+
+    rng = np.random.default_rng(23)
+    packets = [
+        Packet.udp(IPv4Address(int(s)), IPv4Address(int(d)),
+                   dport=int(p), size=int(z))
+        for s, d, p, z in zip(rng.integers(0, 2**32, 1024),
+                              rng.integers(0, 2**32, 1024),
+                              rng.integers(0, 128, 1024),
+                              rng.integers(64, 1500, 1024))
+    ]
+    batch = PacketBatch.from_packets(packets)
+    ctx = ComponentContext(now=0.0, asn=1, is_transit=False,
+                           local_prefix=Prefix.make(0, 8), stage="dest",
+                           owner=None)
+    return build, packets, batch, ctx
+
+
+@pytest.mark.parametrize("batch_size", [1, 1024])
+def test_policy_interpreted_walk(benchmark, policy_world, batch_size):
+    """The scalar interpreted graph walk over ``batch_size`` packets (the
+    pre-compiler execution path, kept as the differential oracle)."""
+    build, packets, _batch, ctx = policy_world
+    graph = build()
+    subset = packets[:batch_size]
+
+    def run_walk():
+        process = graph.process
+        for packet in subset:
+            process(packet, ctx)
+
+    benchmark(run_walk)
+
+
+@pytest.mark.parametrize("batch_size", [1, 1024])
+def test_policy_compiled_batch(benchmark, policy_world, batch_size):
+    """One vectorized batch-program run over ``batch_size`` rows.
+
+    Compare per-packet against ``test_policy_interpreted_walk``: the CI
+    perf-smoke guards the batch-1024 ratio via ``tools/bench.py
+    --check-policy-ratio``.
+    """
+    from repro.policy import compile_policy
+
+    build, _packets, batch, ctx = policy_world
+    compiled = compile_policy(build(), vet=True)
+    rows = np.arange(batch_size)
+
+    benchmark(compiled.run_batch, batch, rows, ctx)

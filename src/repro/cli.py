@@ -43,7 +43,7 @@ def _version() -> str:
 
 TOPOLOGY_KINDS = ("hierarchical", "powerlaw", "internet", "line", "star")
 DEFENSES = ("none", "ingress", "rbf", "pushback", "traceback-filter",
-            "sos", "i3", "lasthop", "tcs")
+            "sos", "i3", "lasthop", "tcs", "tcs-spec")
 
 
 def _build_topology(kind: str, size: int, seed: int):
@@ -267,6 +267,145 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_service_spec(path: Optional[str]):
+    """A :class:`ServiceSpec` from a JSON file, or the built-in demo spec
+    (which exercises every optimization pass: fusable filters, an
+    observer run, a blacklist, a rate limit)."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.core.compose import RuleSpec, ServiceSpec
+
+    if path is None:
+        return ServiceSpec(name="demo", rules=(
+            RuleSpec(action="drop", proto="tcp", tcp_flags="rst",
+                     label="block-rst"),
+            RuleSpec(action="drop", proto="udp", dport_not_in=(53, 80),
+                     label="offservice-udp"),
+            RuleSpec(action="log", label="audit"),
+            RuleSpec(action="collect-stats", label="stats"),
+            RuleSpec(action="blacklist", prefixes=("203.0.113.0/24",),
+                     label="known-bad"),
+            RuleSpec(action="rate-limit", rate_bps=2_000_000.0,
+                     label="limit"),
+        ))
+    raw = _json.loads(Path(path).read_text())
+    rules = tuple(
+        RuleSpec(**{**r, "prefixes": tuple(r.get("prefixes", ())),
+                    "dport_not_in": tuple(r.get("dport_not_in", ()))})
+        for r in raw.get("rules", ()))
+    return ServiceSpec(name=raw.get("name", Path(path).stem), rules=rules)
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    """``repro policy {show,verify,bench}`` over a service spec."""
+    from repro.core.compose import build_graph
+    from repro.core.device import DeviceContext
+    from repro.errors import ReproError
+    from repro.net import ASRole, Prefix
+    from repro.policy import Severity, analyze, compile_policy
+
+    try:
+        spec = _load_service_spec(args.spec)
+        device_ctx = DeviceContext(asn=0, role=ASRole.STUB,
+                                   local_prefix=Prefix.parse("10.0.0.0/8"))
+        graph = build_graph(spec, device_ctx)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "verify":
+        policy, diags = analyze(graph)
+        for diag in diags:
+            print(diag)
+        errors = [d for d in diags if d.severity is Severity.ERROR]
+        if not errors:
+            print(f"ok: {len(policy)} op(s), no errors")
+        return 1 if errors else 0
+
+    try:
+        compiled = compile_policy(graph, vet=True)
+    except ReproError as exc:
+        print(f"error: {exc} (run 'policy verify' for the full list)",
+              file=sys.stderr)
+        return 1
+
+    if args.action == "show":
+        pol = compiled.policy
+        print(f"policy {pol.name!r}: {len(pol)} op(s), entry={pol.entry}")
+        for op in pol.ops:
+            edges = []
+            if op.pass_to is not None:
+                edges.append(f"pass->{op.pass_to}")
+            if op.drop_to is not None:
+                edges.append(f"drop->{op.drop_to}")
+            print(f"  [{op.index}] {op.name:<18} {op.kind.name:<14} "
+                  f"{type(op.component).__name__:<20} "
+                  f"{' '.join(edges) or 'exit'}")
+        print(f"signature      : {compiled.signature}")
+        print(f"batch program  : "
+              f"{'yes' if compiled.batch_supported else 'no'}")
+        print(f"order-sensitive: "
+              f"{'yes' if compiled.order_sensitive else 'no'}")
+        for diag in compiled.diagnostics:
+            print(f"  {diag}")
+        return 0
+
+    # bench: interpreted walk vs compiled programs over one random burst
+    import time
+
+    import numpy as np
+
+    from repro.core.components import ComponentContext
+    from repro.core.ownership import NetworkUser
+    from repro.net import IPv4Address, Packet, PacketBatch
+
+    n = args.batch
+    rng = np.random.default_rng(args.seed if args.seed is not None else 42)
+    packets = [
+        Packet.udp(IPv4Address(int(rng.integers(0, 2**32))),
+                   IPv4Address(int(rng.integers(0, 2**32))),
+                   dport=int(rng.integers(0, 1024)))
+        for _ in range(n)
+    ]
+    batch = PacketBatch.from_packets(packets)
+    rows = np.arange(n)
+    ctx = ComponentContext(
+        now=0.0, asn=0, is_transit=False,
+        local_prefix=device_ctx.local_prefix, stage="dest",
+        owner=NetworkUser("policy-bench", "bench",
+                          [device_ctx.local_prefix]),
+        ingress_asn=None, local_origin=True)
+
+    def pkts_per_s(fn) -> float:
+        fn()  # warm up (JIT caches, first-touch allocations)
+        reps = 1
+        while True:
+            t0 = time.perf_counter()
+            for _ in range(reps):
+                fn()
+            elapsed = time.perf_counter() - t0
+            if elapsed > 0.1:
+                return (reps * n) / elapsed
+            reps *= 2
+
+    r_interp = pkts_per_s(lambda: [graph.process(p, ctx) for p in packets])
+    r_scalar = pkts_per_s(lambda: [compiled.process(p, ctx) for p in packets])
+    print(f"spec {spec.name!r}, {len(compiled.policy)} op(s), "
+          f"batch size {n}:")
+    print(f"  interpreted walk : {r_interp:>12,.0f} pkts/s")
+    print(f"  compiled scalar  : {r_scalar:>12,.0f} pkts/s  "
+          f"({r_scalar / r_interp:.2f}x)")
+    if compiled.batch_supported:
+        r_batch = pkts_per_s(lambda: compiled.run_batch(batch, rows, ctx))
+        print(f"  compiled batch   : {r_batch:>12,.0f} pkts/s  "
+              f"({r_batch / r_interp:.2f}x)")
+    else:
+        print("  compiled batch   : unsupported (see 'policy show' "
+              "diagnostics)")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Print every metric the codebase can emit (name, kind, labels)."""
     import json as _json
@@ -383,6 +522,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-requests", type=int, default=0, metavar="N",
                          help="exit after N requests (0 = serve forever)")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_policy = sub.add_parser(
+        "policy", help="inspect, verify, or benchmark compiled policies")
+    pol_sub = p_policy.add_subparsers(dest="action", required=True)
+    for act, hlp in (
+            ("show", "dump the lowered IR, signature, and diagnostics"),
+            ("verify", "run every compiler pass; nonzero exit on errors"),
+            ("bench", "compiled vs interpreted throughput")):
+        pp = pol_sub.add_parser(act, parents=[common()], help=hlp)
+        pp.add_argument("--spec", default=None, metavar="FILE",
+                        help="service-spec JSON file "
+                             "(default: a built-in demo spec)")
+        if act == "bench":
+            pp.add_argument("--batch", type=int, default=1024,
+                            help="packets per burst")
+        pp.set_defaults(fn=cmd_policy)
 
     p_obs = sub.add_parser("obs",
                            help="dump the telemetry schema (repro.obs)")

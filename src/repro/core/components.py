@@ -37,6 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover
 _HEAVY_HITTERS = declare(
     "trigger.heavy_hitters", "counter", labels=("asn",),
     help="offending sources identified at trigger firings")
+_PROCESSED = declare(
+    "component.processed", "counter", labels=("component",),
+    help="packets processed per component")
+_DROPPED = declare(
+    "component.dropped", "counter", labels=("component",),
+    help="packets dropped per component")
 
 __all__ = [
     "Verdict", "Capabilities", "ComponentContext", "Component",
@@ -112,8 +118,26 @@ class Component:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.processed = 0
-        self.dropped = 0
+        # registry-backed tallies; ``processed``/``dropped`` remain
+        # available as attribute views below
+        self._m_processed = _PROCESSED.labelled(component=name)
+        self._m_dropped = _DROPPED.labelled(component=name)
+
+    @property
+    def processed(self) -> int:
+        return self._m_processed.value
+
+    @processed.setter
+    def processed(self, value: int) -> None:
+        self._m_processed.value = value
+
+    @property
+    def dropped(self) -> int:
+        return self._m_dropped.value
+
+    @dropped.setter
+    def dropped(self, value: int) -> None:
+        self._m_dropped.value = value
 
     def process(self, packet: Packet, ctx: ComponentContext) -> Verdict:  # pragma: no cover
         raise NotImplementedError
@@ -129,10 +153,10 @@ class Component:
         raise NotImplementedError
 
     def __call__(self, packet: Packet, ctx: ComponentContext) -> Verdict:
-        self.processed += 1
+        self._m_processed.value += 1
         verdict = self.process(packet, ctx)
         if verdict is Verdict.DROP:
-            self.dropped += 1
+            self._m_dropped.value += 1
         return verdict
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -31,11 +31,10 @@ from repro.core.components import (
 )
 from repro.core.device import DeviceContext
 from repro.core.graph import ComponentGraph
-from repro.core.safety import vet_graph
 from repro.net.addressing import Prefix
 from repro.net.packet import ICMPType, Protocol, TCPFlags
 
-__all__ = ["RuleSpec", "ServiceSpec", "compile_spec"]
+__all__ = ["RuleSpec", "ServiceSpec", "build_graph", "compile_spec"]
 
 #: rule actions the composer understands
 ACTIONS = ("drop", "rate-limit", "scrub-payload", "blacklist",
@@ -54,6 +53,8 @@ class RuleSpec:
     action: str
     proto: Optional[str] = None          # "tcp" | "udp" | "icmp"
     dport: Optional[int] = None
+    dport_not_in: tuple[int, ...] = ()   # "all but my service ports"
+    dst_prefix: Optional[str] = None     # scope to destinations in prefix
     sport: Optional[int] = None
     tcp_flags: Optional[str] = None      # "rst" | "syn" | "synack"
     icmp_type: Optional[str] = None      # "host-unreachable" | ...
@@ -107,18 +108,20 @@ def _match_of(rule: RuleSpec) -> HeaderMatch:
     proto = _PROTO[rule.proto] if rule.proto else None
     flags = _FLAGS[rule.tcp_flags] if rule.tcp_flags else None
     icmp = _ICMP[rule.icmp_type] if rule.icmp_type else None
+    dst_prefix = Prefix.parse(rule.dst_prefix) if rule.dst_prefix else None
     return HeaderMatch(proto=proto, sport=rule.sport, dport=rule.dport,
-                       flags_any=flags, icmp_type=icmp,
+                       dport_not_in=tuple(rule.dport_not_in),
+                       flags_any=flags, icmp_type=icmp, dst_prefix=dst_prefix,
                        min_size=rule.min_size, max_size=rule.max_size)
 
 
-def compile_spec(spec: ServiceSpec, device_ctx: DeviceContext,
-                 trigger_action=None) -> ComponentGraph:
-    """Compile a service spec into a vetted component graph for one device.
+def build_graph(spec: ServiceSpec, device_ctx: DeviceContext,
+                trigger_action=None) -> ComponentGraph:
+    """Materialise a spec's component graph *without* compiling it.
 
-    Rules become components in order; unknown protocols/flags and
-    parameter omissions are rejected before anything reaches a device.
-    ``trigger_action(ctx, rate)`` is bound to any trigger rules.
+    :func:`compile_spec` is the normal entry point; this half exists for
+    tooling (``repro policy verify``) that wants the raw graph so it can
+    report every compiler diagnostic instead of stopping at the first.
     """
     spec.validate()
     graph = ComponentGraph(f"{spec.name}@AS{device_ctx.asn}")
@@ -148,7 +151,24 @@ def compile_spec(spec: ServiceSpec, device_ctx: DeviceContext,
         else:  # pragma: no cover - validate() prevents this
             raise DeploymentError(f"unhandled action {rule.action!r}")
     graph.chain(*components)
-    vet_graph(graph)
+    return graph
+
+
+def compile_spec(spec: ServiceSpec, device_ctx: DeviceContext,
+                 trigger_action=None) -> ComponentGraph:
+    """Compile a service spec into a vetted component graph for one device.
+
+    Rules become components in order; unknown protocols/flags and
+    parameter omissions are rejected before anything reaches a device.
+    ``trigger_action(ctx, rate)`` is bound to any trigger rules.
+    """
+    graph = build_graph(spec, device_ctx, trigger_action=trigger_action)
+    # lower through the policy compiler: structural + Sec. 4.5 vetting run
+    # as compiler passes (same exceptions/messages as vet_graph), and the
+    # compiled programs are cached on the graph for the execution layers
+    from repro.policy.compiler import compile_policy
+
+    compile_policy(graph, vet=True)
     return graph
 
 

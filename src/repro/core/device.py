@@ -492,12 +492,18 @@ class AdaptiveDevice:
         self._m_redirected.value += n_wanted
         self._m_fc_hits.value += n_wanted
 
-        # vectorised observer fast path: flows whose every active stage
-        # graph is a pure-observer chain (statistics/sketch collectors —
-        # see ComponentGraph.batch_plan) skip per-packet materialisation
-        # entirely: one vectorised update per component per sub-batch.
-        # Flows with filtering/limiting stages take the scalar residue.
+        # vectorised policy fast path: flows whose every active stage
+        # graph compiles to a batch program (repro.policy) skip per-packet
+        # materialisation entirely — filter/blacklist/limit graphs run as
+        # row-mask programs, pure-observer chains as one vectorised update
+        # per component.  Flows with non-vectorizable stages take the
+        # scalar residue, and order-sensitive policies (token buckets,
+        # bounded logs) only run batched when all their traffic lands in a
+        # single owner-pair group — otherwise group-by-group execution
+        # would reorder the component's view of the packet stream relative
+        # to the scalar row order.
         residual = wanted.copy()
+        keep = np.ones(n, dtype=bool)
         groups: dict[tuple, list[int]] = {}
         for j in range(n_unique):
             if not wants_flow[j]:
@@ -506,19 +512,28 @@ class AdaptiveDevice:
             gkey = (None if src_owner is None else src_owner.user_id,
                     None if dst_owner is None else dst_owner.user_id)
             groups.setdefault(gkey, []).append(j)
-        for flow_js in groups.values():
-            src_owner, dst_owner, _ = entries[flow_js[0]]
-            stage_plans = self._batch_stage_plans(src_owner, dst_owner)
-            if stage_plans is None:
+        group_programs = {
+            gkey: self._batch_stage_programs(
+                *entries[flow_js[0]][:2])
+            for gkey, flow_js in groups.items()}
+        poisoned = self._order_sensitive_overlaps(groups, group_programs)
+        for gkey, flow_js in groups.items():
+            programs = group_programs[gkey]
+            if programs is None or (poisoned and not poisoned.isdisjoint(
+                    uid for uid in gkey if uid is not None)):
                 continue
             member = np.zeros(n_unique, dtype=bool)
             member[flow_js] = True
             in_group = member[inverse] & wanted
-            self._observe_batch(batch, np.nonzero(in_group)[0], stage_plans,
-                                now, ingress_asn)
+            group_rows = np.nonzero(in_group)[0]
+            survivors = self._run_batch_stages(batch, group_rows, programs,
+                                               now, ingress_asn)
+            if len(survivors) < len(group_rows):
+                self._m_dropped.value += len(group_rows) - len(survivors)
+                keep[group_rows] = False
+                keep[survivors] = True
             residual &= ~in_group
 
-        keep = np.ones(n, dtype=bool)
         for i in np.nonzero(residual)[0]:
             i = int(i)
             src_owner, dst_owner, _ = entries[int(inverse[i])]
@@ -535,20 +550,22 @@ class AdaptiveDevice:
         passed = batch.select(keep) if keep.any() else None
         return passed, dropped
 
-    def _batch_stage_plans(self, src_owner: Optional[NetworkUser],
-                           dst_owner: Optional[NetworkUser]
-                           ) -> Optional[list[tuple]]:
-        """Pure-observer batch plans for both stages of one owner pair.
+    def _batch_stage_programs(self, src_owner: Optional[NetworkUser],
+                              dst_owner: Optional[NetworkUser]
+                              ) -> Optional[list[tuple]]:
+        """Compiled batch programs for both stages of one owner pair.
 
-        Returns ``(owner, stage, instance, graph, plan)`` per active stage
-        graph, in scalar stage order — or ``None`` when any stage needs
-        the per-packet verdict walk (the scalar residue then keeps exact
-        drop/limit semantics).
+        Returns ``(owner, stage, instance, graph, compiled)`` per active
+        stage graph, in scalar stage order — or ``None`` when any stage
+        has no batch program (non-vectorizable ops) or the two stages
+        share component state (batching one whole stage before the other
+        would reorder that component's packet stream vs. the per-packet
+        walk); the scalar residue then keeps exact semantics.
         """
         stages = [(src_owner, "source"), (dst_owner, "dest")]
         if self.stage_order == "dst-first":  # E13 ablation only
             stages.reverse()
-        plans: list[tuple] = []
+        programs: list[tuple] = []
         for owner, stage in stages:
             if owner is None:
                 continue
@@ -560,29 +577,52 @@ class AdaptiveDevice:
                      else instance.dst_graph)
             if graph is None:
                 continue
-            plan = graph.batch_plan()
-            if plan is None:
+            compiled = graph.compiled()
+            if not compiled.batch_supported:
                 return None
-            plans.append((owner, stage, instance, graph, plan))
-        return plans
+            programs.append((owner, stage, instance, graph, compiled))
+        if (len(programs) == 2
+                and programs[0][4].shares_state_with(programs[1][4])):
+            return None
+        return programs
 
-    def _observe_batch(self, batch: "PacketBatch", rows: np.ndarray,
-                       stage_plans: list[tuple], now: float,
-                       ingress_asn: Optional[int]) -> None:
-        """Feed ``batch[rows]`` through pure-observer stage graphs.
+    def _order_sensitive_overlaps(self, groups: dict, group_programs: dict
+                                  ) -> set[str]:
+        """User ids whose order-sensitive stage policies span more than
+        one owner-pair group this batch — their groups must take the
+        scalar residue to preserve the component's packet order."""
+        seen: dict[str, int] = {}
+        sensitive: set[str] = set()
+        for gkey in groups:
+            for uid in gkey:
+                if uid is None:
+                    continue
+                seen[uid] = seen.get(uid, 0) + 1
+                instance = self.services.get(uid)
+                if instance is None:
+                    continue
+                for graph in (instance.src_graph, instance.dst_graph):
+                    if graph is not None and graph.compiled().order_sensitive:
+                        sensitive.add(uid)
+        return {uid for uid in sensitive if seen.get(uid, 0) > 1}
 
-        Counter parity with the scalar walk is exact: the graph/component/
-        safety-monitor tallies advance by the same totals, and since the
-        plans admit neither drops nor mutations every packet passes
-        unchanged (which is why the per-packet monitor snapshot can be
-        replaced by the aggregate in == out accounting).
+    def _run_batch_stages(self, batch: "PacketBatch", rows: np.ndarray,
+                          programs: list[tuple], now: float,
+                          ingress_asn: Optional[int]) -> np.ndarray:
+        """Run ``batch[rows]`` through compiled stage programs; returns the
+        surviving row indices.
+
+        Counter parity with the scalar walk is exact: graph/component
+        tallies advance inside :meth:`CompiledPolicy.run_batch`, and the
+        per-packet safety-monitor snapshot collapses to aggregate in/out
+        accounting (the compiled kernels implement each component's
+        declared semantics directly, so no violation is possible).
         """
-        if len(rows) == 0:
-            return
         local_origin = ingress_asn is None
-        n = len(rows)
-        total_bytes = int(batch.size[rows].sum())
-        for owner, stage, instance, graph, plan in stage_plans:
+        for owner, stage, instance, graph, compiled in programs:
+            n = len(rows)
+            if n == 0:
+                break
             ctx = ComponentContext(
                 now=now, asn=self.context.asn,
                 is_transit=self.context.is_transit,
@@ -591,11 +631,14 @@ class AdaptiveDevice:
                 local_origin=local_origin,
             )
             monitor = instance.monitor
+            sizes = batch.size[rows]
             monitor.packets_in += n
-            monitor.bytes_in += total_bytes
-            graph.process_batch(batch, rows, ctx, plan)
-            monitor.packets_out += n
-            monitor.bytes_out += total_bytes
+            monitor.bytes_in += int(sizes.sum())
+            alive = compiled.run_batch(batch, rows, ctx)
+            monitor.packets_out += int(alive.sum())
+            monitor.bytes_out += int(sizes[alive].sum())
+            rows = rows[alive]
+        return rows
 
 
 def attach_device(network: "Network", asn: int,

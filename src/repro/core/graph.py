@@ -21,9 +21,18 @@ import numpy as np
 from repro.errors import ComponentGraphError
 from repro.core.components import Component, ComponentContext, Verdict
 from repro.net.packet import Packet
+from repro.obs.metrics import declare
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.packet import PacketBatch
+    from repro.policy.compiler import CompiledPolicy
+
+_PACKETS_IN = declare(
+    "graph.packets_in", "counter", labels=("graph",),
+    help="packets entering a component graph")
+_PACKETS_DROPPED = declare(
+    "graph.packets_dropped", "counter", labels=("graph",),
+    help="packets leaving a component graph with a DROP verdict")
 
 __all__ = ["ComponentGraph"]
 
@@ -36,8 +45,32 @@ class ComponentGraph:
         self._components: dict[str, Component] = {}
         self._edges: dict[tuple[str, Verdict], str] = {}
         self._entry: Optional[str] = None
-        self.packets_in = 0
-        self.packets_dropped = 0
+        # registry-backed tallies; ``packets_in``/``packets_dropped`` stay
+        # available as attribute views below
+        self._m_packets_in = _PACKETS_IN.labelled(graph=name)
+        self._m_packets_dropped = _PACKETS_DROPPED.labelled(graph=name)
+        # structural version: bumped on every mutation so cached compiled
+        # policies (repro.policy) know when to re-lower
+        self._version = 0
+        self._compiled: Optional["CompiledPolicy"] = None
+        self._compiled_version = -1
+
+    # ------------------------------------------------------- legacy counters
+    @property
+    def packets_in(self) -> int:
+        return self._m_packets_in.value
+
+    @packets_in.setter
+    def packets_in(self, value: int) -> None:
+        self._m_packets_in.value = value
+
+    @property
+    def packets_dropped(self) -> int:
+        return self._m_packets_dropped.value
+
+    @packets_dropped.setter
+    def packets_dropped(self, value: int) -> None:
+        self._m_packets_dropped.value = value
 
     # ---------------------------------------------------------------- building
     def add(self, component: Component, entry: bool = False) -> "ComponentGraph":
@@ -47,6 +80,7 @@ class ComponentGraph:
         self._components[component.name] = component
         if entry or self._entry is None:
             self._entry = component.name
+        self._version += 1
         return self
 
     def connect(self, src: str, dst: str, on: Verdict = Verdict.PASS) -> "ComponentGraph":
@@ -55,6 +89,7 @@ class ComponentGraph:
             if name not in self._components:
                 raise ComponentGraphError(f"unknown component {name!r}")
         self._edges[(src, on)] = dst
+        self._version += 1
         return self
 
     def chain(self, *components: Component) -> "ComponentGraph":
@@ -79,8 +114,33 @@ class ComponentGraph:
     def components(self) -> Iterator[Component]:
         return iter(self._components.values())
 
+    def edges(self) -> dict[tuple[str, Verdict], str]:
+        """Copy of the verdict-edge map, in insertion order."""
+        return dict(self._edges)
+
     def __len__(self) -> int:
         return len(self._components)
+
+    @property
+    def version(self) -> int:
+        """Structural version; bumped on every :meth:`add`/:meth:`connect`."""
+        return self._version
+
+    def compiled(self) -> "CompiledPolicy":
+        """The cached compiled policy for this graph (re-lowered on mutation).
+
+        Compiles with ``vet=False``: runtime execution of an installed graph
+        must never newly fail vetting that the interpreter would have
+        tolerated — install/compose paths vet explicitly.
+        """
+        if self._compiled is None or self._compiled_version != self._version:
+            # deferred import: repro.policy lowers graphs, so importing it
+            # at module scope would be circular
+            from repro.policy.compiler import compile_policy
+
+            self._compiled = compile_policy(self, vet=False)
+            self._compiled_version = self._version
+        return self._compiled
 
     # -------------------------------------------------------------- validation
     def validate(self) -> None:
@@ -169,9 +229,9 @@ class ComponentGraph:
             raise ComponentGraphError(
                 f"graph {self.name!r} has no pure-observer batch plan")
         n = len(rows)
-        self.packets_in += n
+        self._m_packets_in.value += n
         for component in plan:
-            component.processed += n
+            component._m_processed.value += n
             component.process_batch(batch, rows, ctx)
 
     def process(self, packet: Packet, ctx: ComponentContext) -> Verdict:
@@ -181,7 +241,7 @@ class ComponentGraph:
         """
         if self._entry is None:
             raise ComponentGraphError(f"graph {self.name!r} is empty")
-        self.packets_in += 1
+        self._m_packets_in.value += 1
         doomed = False
         node: Optional[str] = self._entry
         steps = 0
@@ -195,7 +255,7 @@ class ComponentGraph:
                 doomed = True
             node = self._edges.get((node, verdict))
         if doomed:
-            self.packets_dropped += 1
+            self._m_packets_dropped.value += 1
             return Verdict.DROP
         return Verdict.PASS
 

@@ -24,6 +24,7 @@ EMITTING_MODULES = (
     "repro.core.device",
     "repro.core.rpc",
     "repro.core.components",
+    "repro.core.graph",
     "repro.core.apps.statistics",
     "repro.scenario.metrics",
     "repro.service.facade",

@@ -22,6 +22,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.core.apps import TcsAntiSpoofMitigation
+from repro.core.components import ComponentContext, Verdict
+from repro.core.compose import RuleSpec, ServiceSpec, compile_spec
+from repro.core.device import DeviceContext
+from repro.core.ownership import NetworkUser
 from repro.mitigation import (
     I3Defense,
     IngressFiltering,
@@ -36,6 +40,7 @@ from repro.mitigation import (
 )
 from repro.mitigation.traceback import MarkingCollector
 from repro.net import Protocol
+from repro.net.topology import ASRole
 from repro.scenario.spec import DefenseSpec, SpecError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -302,6 +307,53 @@ def _deploy_tcs(built: "BuiltScenario", spec: DefenseSpec) -> DefenseHandle:
         mit.deploy(net, net.topology.stub_ases)
         handle.notes = "TCS anti-spoofing at all stub borders"
     return handle
+
+
+@defense("tcs-spec")
+def _deploy_tcs_spec(built: "BuiltScenario",
+                     spec: DefenseSpec) -> DefenseHandle:
+    """TCS deployed from a *declarative* service spec via the policy compiler.
+
+    Where ``tcs`` hand-writes its per-attack router filters, this variant
+    states the policy as a :class:`ServiceSpec` (rules may come from the
+    defense spec's ``rules`` parameter) and lowers it through
+    :func:`compile_spec` — structural validation, Sec. 4.5 vetting, and
+    program generation all run as compiler passes — then installs the
+    compiled policy at every stub border as the dst-owner stage would.
+    """
+    net, sc = built.network, built.scenario
+    victim_prefix = net.topology.prefix_of(sc.victim_asn)
+    rules = spec.get("rules", None)
+    if rules:
+        rule_specs = tuple(RuleSpec(**r) for r in rules)
+    else:
+        # the distributed-firewall default: drop off-service UDP bound
+        # for the victim (same semantics as the "tcs" direct-spoofed arm)
+        rule_specs = (RuleSpec(action="drop", proto="udp",
+                               dport_not_in=(80,),
+                               dst_prefix=str(victim_prefix),
+                               label="offservice-udp"),)
+    service_spec = ServiceSpec(name="tcs-spec", rules=rule_specs)
+    owner = NetworkUser("tcs-spec-victim", "victim", [victim_prefix])
+    deployed = 0
+    for asn in net.topology.stub_ases:
+        device_ctx = DeviceContext(asn=asn, role=ASRole.STUB,
+                                   local_prefix=net.topology.prefix_of(asn))
+        compiled = compile_spec(service_spec, device_ctx).compiled()
+
+        def filt(pkt, router, link, now,
+                 compiled=compiled, device_ctx=device_ctx, owner=owner):
+            ctx = ComponentContext(
+                now=now, asn=device_ctx.asn, is_transit=False,
+                local_prefix=device_ctx.local_prefix, stage="dest",
+                owner=owner, ingress_asn=None, local_origin=True)
+            return compiled.process(pkt, ctx) is Verdict.PASS
+
+        net.routers[asn].add_filter("tcs-spec", filt)
+        deployed += 1
+    return DefenseHandle(
+        name="tcs-spec",
+        notes=f"declarative spec compiled at {deployed} stub borders")
 
 
 # --------------------------------------------------------------------------

@@ -27,8 +27,8 @@ from repro.errors import DeploymentError, SafetyViolation
 from repro.core.components import ComponentContext, Verdict
 from repro.core.graph import ComponentGraph
 from repro.core.ownership import NetworkUser, OwnershipRegistry
-from repro.core.safety import vet_graph
 from repro.net.addressing import IPv4Address
+from repro.policy.compiler import compile_policy
 from repro.net.packet import Packet, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,6 +71,7 @@ class DecisionCore:
 
     __slots__ = ("context", "registry", "services", "strict", "stage_order",
                  "flow_cache", "flow_cache_capacity", "_flow_cache_version",
+                 "generation",
                  "m_redirected", "m_dropped", "m_safety_disables",
                  "m_fc_hits", "m_fc_misses")
 
@@ -99,6 +100,10 @@ class DecisionCore:
         self.flow_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self.flow_cache_capacity = flow_cache_capacity
         self._flow_cache_version = registry.version
+        #: policy generation: bumped on every invalidation (install/
+        #: uninstall/activation/hot-swap), so observers can tag cached
+        #: decisions and verify a swap took effect atomically
+        self.generation = 0
         c = counters or {}
         self.m_redirected = c.get("redirected") or StatCell()
         self.m_dropped = c.get("dropped") or StatCell()
@@ -118,7 +123,10 @@ class DecisionCore:
             raise DeploymentError(f"user {user.user_id!r}: nothing to install")
         for graph in (src_graph, dst_graph):
             if graph is not None:
-                vet_graph(graph)
+                # compiler-pass vetting: same exceptions/messages as
+                # vet_graph, and the compiled programs are cached for the
+                # execution paths below
+                compile_policy(graph, vet=True)
         instance = self.services.get(user.user_id)
         if instance is None:
             instance = ServiceInstance(user=user)
@@ -153,8 +161,10 @@ class DecisionCore:
 
     # -------------------------------------------------------------- fast path
     def invalidate(self) -> None:
-        """Drop every cached per-flow decision (service set changed)."""
+        """Drop every cached per-flow decision (service set changed) and
+        advance the policy generation tag."""
         self.flow_cache.clear()
+        self.generation += 1
 
     def synced_cache(self) -> "OrderedDict[tuple, tuple]":
         """The flow cache, cleared first if the ownership registry changed
@@ -265,7 +275,9 @@ class DecisionCore:
             ingress_asn=ingress_asn, local_origin=local_origin,
         )
         before = instance.monitor.note_in(packet)
-        verdict = graph.process(packet, ctx)
+        # compiled scalar program: byte-identical verdicts/counters to the
+        # interpreted graph.process walk (kept as the differential oracle)
+        verdict = graph.compiled().process(packet, ctx)
         result = packet if verdict is Verdict.PASS else None
         try:
             instance.monitor.check(before, result, graph.name)

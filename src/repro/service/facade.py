@@ -24,11 +24,13 @@ from typing import Optional
 
 from repro.core.device import DeviceContext
 from repro.core.graph import ComponentGraph
+from repro.errors import DeploymentError
 from repro.core.ownership import NetworkUser, OwnershipRegistry
 from repro.net.addressing import IPv4Address, Prefix, _as_int
 from repro.net.packet import Packet, Protocol
 from repro.net.topology import ASRole
 from repro.obs.metrics import declare
+from repro.policy.compiler import compile_policy
 from repro.service.clock import Clock, WallClock
 from repro.service.core import DecisionCore, FLOW_CACHE_CAPACITY
 from repro.util.tokenbucket import TokenBucket
@@ -50,6 +52,15 @@ _CACHE_MISSES = declare("service.cache_misses", "counter",
 _ADMISSION_REJECTED = declare("service.admission_rejected", "counter",
                               help="requests refused by the admission "
                                    "token bucket before any ownership check")
+_POLICY_SWAPS = declare("service.policy.swaps", "counter",
+                        help="atomic hot-swaps of a live service's "
+                             "stage graphs")
+_POLICY_GENERATION = declare("service.policy.generation", "gauge",
+                             help="decision-core policy generation "
+                                  "(bumped on every invalidation)")
+_POLICY_COMPILE_FAILURES = declare("service.policy.compile_failures", "counter",
+                                   help="hot-swap attempts rejected by the "
+                                        "policy compiler (old policy kept)")
 
 
 @dataclass(frozen=True)
@@ -105,6 +116,9 @@ class ServiceFacade:
         self._m_pass = _CHECKS.labelled(verdict="pass")
         self._m_drop = _CHECKS.labelled(verdict="drop")
         self._m_redirected = _REDIRECTED.labelled()
+        self._m_policy_swaps = _POLICY_SWAPS.labelled()
+        self._m_policy_generation = _POLICY_GENERATION.labelled()
+        self._m_policy_compile_failures = _POLICY_COMPILE_FAILURES.labelled()
         self.core = DecisionCore(
             context, self.registry, strict=strict, stage_order=stage_order,
             flow_cache_capacity=flow_cache_capacity,
@@ -134,6 +148,43 @@ class ServiceFacade:
 
     def set_active(self, user_id: str, active: bool) -> None:
         self.core.set_active(user_id, active)
+
+    def swap_policy(self, user_id: str,
+                    src_graph: Optional[ComponentGraph] = None,
+                    dst_graph: Optional[ComponentGraph] = None) -> int:
+        """Atomically replace a live service's stage graphs.
+
+        Every non-None graph is compiled (with Sec. 4.5 vetting) *before*
+        anything is mutated, so a rejected swap leaves the old policy
+        fully active — the compiler is the transaction guard.  On success
+        the flow cache is invalidated and the policy generation advances;
+        the new generation is returned so callers can verify the swap
+        took effect.
+        """
+        if src_graph is None and dst_graph is None:
+            raise DeploymentError(
+                f"user {user_id!r}: nothing to swap")
+        core = self.core
+        instance = core.services.get(user_id)
+        if instance is None:
+            raise DeploymentError(f"no service for user {user_id!r} here")
+        try:
+            for graph in (src_graph, dst_graph):
+                if graph is not None:
+                    compile_policy(graph, vet=True)
+        except Exception:
+            self._m_policy_compile_failures.value += 1
+            raise
+        if src_graph is not None:
+            instance.src_graph = src_graph
+        if dst_graph is not None:
+            instance.dst_graph = dst_graph
+        # a swapped-in policy gets a clean safety slate, like install()
+        instance.disabled_for_violation = False
+        core.invalidate()
+        self._m_policy_swaps.value += 1
+        self._m_policy_generation.value = core.generation
+        return core.generation
 
     # ------------------------------------------------------------------ check
     def check(self, src, dst, *, proto: Protocol = Protocol.TCP,
@@ -206,3 +257,10 @@ class TrafficController:
         dst_addr = self.service_address if dst is None else dst
         return self.facade.check(client, dst_addr, proto=self.proto,
                                  dport=self.dport, now=now)
+
+    def swap_policy(self, user_id: str,
+                    src_graph: Optional[ComponentGraph] = None,
+                    dst_graph: Optional[ComponentGraph] = None) -> int:
+        """Delegate an atomic policy hot-swap to the wrapped facade."""
+        return self.facade.swap_policy(user_id, src_graph=src_graph,
+                                       dst_graph=dst_graph)

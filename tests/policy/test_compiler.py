@@ -1,0 +1,228 @@
+"""Compiled policies: differential parity, signatures, caching, errors."""
+
+import numpy as np
+import pytest
+
+from repro.core.components import (
+    ComponentContext,
+    HeaderFilter,
+    HeaderMatch,
+    LoggerComponent,
+    PayloadHashFilter,
+    PrefixBlacklist,
+    RateLimiterComponent,
+    SourceAntiSpoof,
+    StatisticsCollector,
+    Verdict,
+)
+from repro.core.compose import RuleSpec, ServiceSpec, compile_spec
+from repro.core.device import DeviceContext
+from repro.core.graph import ComponentGraph
+from repro.core.ownership import NetworkUser
+from repro.errors import ComponentGraphError, VettingError
+from repro.net import ASRole, IPv4Address, Packet, PacketBatch, Prefix, Protocol
+from repro.net.packet import TCPFlags
+from repro.policy import compile_policy
+
+LOCAL = Prefix.parse("10.9.0.0/16")
+OWNER = NetworkUser("owner", prefixes=[Prefix.parse("10.1.0.0/16")])
+
+
+def ctx(now: float = 0.0) -> ComponentContext:
+    return ComponentContext(now=now, asn=9, is_transit=False,
+                            local_prefix=LOCAL, stage="dest", owner=OWNER,
+                            ingress_asn=None, local_origin=True)
+
+
+def random_packets(n: int, seed: int) -> list[Packet]:
+    rng = np.random.default_rng(seed)
+    packets = []
+    for _ in range(n):
+        src = IPv4Address(int(rng.integers(0, 2**32)))
+        dst = IPv4Address(int(rng.integers(0, 2**32)))
+        if rng.random() < 0.5:
+            packets.append(Packet.udp(src, dst,
+                                      dport=int(rng.integers(0, 128)),
+                                      size=int(rng.integers(64, 1500))))
+        else:
+            flags = TCPFlags.RST if rng.random() < 0.3 else TCPFlags.ACK
+            packets.append(Packet(src=src, dst=dst, proto=Protocol.TCP,
+                                  flags=flags, dport=80,
+                                  size=int(rng.integers(64, 1500))))
+    return packets
+
+
+def build_mixed_chain() -> ComponentGraph:
+    graph = ComponentGraph("mixed")
+    graph.chain(
+        HeaderFilter("f-rst", HeaderMatch(proto=Protocol.TCP,
+                                          flags_any=TCPFlags.RST)),
+        HeaderFilter("f-udp", HeaderMatch(proto=Protocol.UDP,
+                                          dport_not_in=(53,))),
+        StatisticsCollector("stats"),
+        LoggerComponent("log"),
+        PrefixBlacklist("bl", [Prefix.parse("128.0.0.0/2")]),
+        RateLimiterComponent("rl", rate_bps=2_000_000.0),
+    )
+    return graph
+
+
+def build_drop_dag() -> ComponentGraph:
+    graph = ComponentGraph("dag")
+    graph.add(HeaderFilter("f", HeaderMatch(proto=Protocol.UDP)))
+    graph.add(SourceAntiSpoof("as", [Prefix.parse("10.1.0.0/16")]))
+    graph.add(LoggerComponent("droplog"))
+    graph.connect("f", "as", Verdict.PASS)
+    graph.connect("f", "droplog", Verdict.DROP)
+    graph.connect("as", "droplog", Verdict.DROP)
+    return graph
+
+
+def component_state(graph: ComponentGraph) -> dict:
+    state = {}
+    for comp in graph.components():
+        state[comp.name] = (comp.processed, comp.dropped)
+        if isinstance(comp, LoggerComponent):
+            state[comp.name] += (tuple(comp.entries),)
+        if isinstance(comp, RateLimiterComponent):
+            state[comp.name] += (comp.bucket.admitted, comp.bucket.rejected)
+    state["__graph__"] = (graph.packets_in, graph.packets_dropped)
+    return state
+
+
+@pytest.mark.parametrize("builder", [build_mixed_chain, build_drop_dag])
+def test_differential_scalar_batch_parity(builder):
+    """Interpreted walk, compiled scalar program, and compiled batch
+    program produce identical verdicts, counters, and observer state."""
+    packets = random_packets(256, seed=7)
+
+    g_interp, g_scalar, g_batch = builder(), builder(), builder()
+    verdicts_interp = [g_interp.process(p, ctx(i * 1e-4))
+                       for i, p in enumerate(packets)]
+    compiled_scalar = compile_policy(g_scalar, vet=True)
+    verdicts_scalar = [compiled_scalar.process(p, ctx(i * 1e-4))
+                       for i, p in enumerate(packets)]
+    assert verdicts_interp == verdicts_scalar
+    assert component_state(g_interp) == component_state(g_scalar)
+
+    # batch path: one burst per timestamp-sharing window of 32 packets so
+    # rate limiters see the same `now` sequence as the scalar walks do not
+    # (token buckets admit per-row in ascending order within one call)
+    compiled_batch = compile_policy(g_batch, vet=True)
+    assert compiled_batch.batch_supported
+    batch = PacketBatch.from_packets(packets)
+    alive_all = []
+    for start in range(0, len(packets), 32):
+        rows = np.arange(start, min(start + 32, len(packets)))
+        alive = compiled_batch.run_batch(batch, rows, ctx(start * 1e-4))
+        alive_all.extend(bool(a) for a in alive)
+
+    # scalar reference under the same batched timestamps
+    g_ref = builder()
+    compiled_ref = compile_policy(g_ref, vet=True)
+    verdicts_ref = [compiled_ref.process(p, ctx((i // 32) * 32 * 1e-4))
+                    for i, p in enumerate(packets)]
+    assert alive_all == [v is Verdict.PASS for v in verdicts_ref]
+    assert component_state(g_batch) == component_state(g_ref)
+
+
+class TestSignature:
+    DEV = DeviceContext(asn=3, role=ASRole.STUB,
+                        local_prefix=Prefix.parse("10.3.0.0/16"))
+
+    SPEC = ServiceSpec(name="svc", rules=(
+        RuleSpec(action="drop", proto="tcp", tcp_flags="rst"),
+        RuleSpec(action="blacklist", prefixes=("203.0.113.0/24",
+                                               "198.51.100.0/24")),
+        RuleSpec(action="rate-limit", rate_bps=1e6),
+        RuleSpec(action="log"),
+    ))
+
+    def test_same_spec_same_signature(self):
+        a = compile_spec(self.SPEC, self.DEV).compiled().signature
+        b = compile_spec(self.SPEC, self.DEV).compiled().signature
+        assert a == b
+
+    def test_signature_ignores_device_asn(self):
+        other = DeviceContext(asn=77, role=ASRole.TRANSIT,
+                              local_prefix=Prefix.parse("10.7.0.0/16"))
+        a = compile_spec(self.SPEC, self.DEV).compiled().signature
+        b = compile_spec(self.SPEC, other).compiled().signature
+        assert a == b
+
+    def test_signature_independent_of_kwargs_order(self):
+        """Satellite pin: dict/kwargs construction order must not leak
+        into the signature (rules are logically identical)."""
+        r1 = RuleSpec(**{"action": "drop", "proto": "tcp",
+                         "tcp_flags": "rst", "dport": 80})
+        r2 = RuleSpec(**{"dport": 80, "tcp_flags": "rst",
+                         "proto": "tcp", "action": "drop"})
+        a = compile_spec(ServiceSpec("s", (r1,)), self.DEV).compiled()
+        b = compile_spec(ServiceSpec("s", (r2,)), self.DEV).compiled()
+        assert a.signature == b.signature
+
+    def test_signature_independent_of_set_iteration_order(self):
+        """PayloadHashFilter's banned set must be signed in sorted order,
+        not set-iteration order."""
+        digests = [bytes([i]) * 8 for i in range(16)]
+
+        def sig(order):
+            graph = ComponentGraph("h")
+            graph.chain(PayloadHashFilter("hf", order))
+            return compile_policy(graph, vet=True).signature
+
+        assert sig(digests) == sig(list(reversed(digests)))
+
+    def test_rule_order_changes_signature(self):
+        swapped = ServiceSpec(name="svc", rules=tuple(reversed(
+            self.SPEC.rules)))
+        a = compile_spec(self.SPEC, self.DEV).compiled().signature
+        b = compile_spec(swapped, self.DEV).compiled().signature
+        assert a != b
+
+
+class TestErrorsAndCache:
+    def test_structural_error_matches_validate(self):
+        graph = ComponentGraph("empty")
+        with pytest.raises(ComponentGraphError) as compiled_err:
+            compile_policy(graph)
+        with pytest.raises(ComponentGraphError) as validate_err:
+            graph.validate()
+        assert str(compiled_err.value) == str(validate_err.value)
+
+    def test_vetting_error_matches_vet_graph(self):
+        from repro.core.safety import vet_graph
+        from repro.core.components import Capabilities, Component
+
+        class Grower(Component):
+            capabilities = Capabilities(max_size_ratio=2.0)
+
+            def process(self, packet, ctx):
+                return Verdict.PASS
+
+        graph = ComponentGraph("amp")
+        graph.chain(Grower("g"))
+        with pytest.raises(VettingError) as compiled_err:
+            compile_policy(graph, vet=True)
+        with pytest.raises(VettingError) as vet_err:
+            vet_graph(graph)
+        assert str(compiled_err.value) == str(vet_err.value)
+        # vet=False (the runtime path) must not reject an installed graph
+        compile_policy(graph, vet=False)
+
+    def test_compiled_cache_invalidated_on_mutation(self):
+        graph = ComponentGraph("cache")
+        graph.chain(HeaderFilter("a", HeaderMatch(proto=Protocol.UDP)))
+        first = graph.compiled()
+        assert graph.compiled() is first
+        graph.add(LoggerComponent("log"))
+        graph.connect("a", "log", Verdict.PASS)
+        second = graph.compiled()
+        assert second is not first
+        assert len(second.policy) == 2
+
+    def test_compile_primes_graph_cache(self):
+        graph = ComponentGraph("primed")
+        graph.chain(HeaderFilter("a", HeaderMatch(proto=Protocol.UDP)))
+        compiled = compile_policy(graph, vet=True)
+        assert graph.compiled() is compiled

@@ -93,7 +93,9 @@ class TestObsCommand:
         for name in ("net.link.dropped_packets", "sim.events_processed",
                      "device.flow_cache_hits", "rpc.backoff_s",
                      "faults.injected", "scenario.attack_survival",
-                     "service.checks", "service.admission_rejected"):
+                     "service.checks", "service.admission_rejected",
+                     "service.policy.swaps", "graph.packets_in",
+                     "component.processed"):
             assert name in out
 
     def test_json_output_is_machine_readable(self, capsys):
@@ -106,6 +108,46 @@ class TestObsCommand:
         assert by_name["net.link.tx_packets"]["labels"] == ["link"]
         assert by_name["rpc.backoff_s"]["kind"] == "histogram"
         assert by_name["scenario.legit_goodput"]["kind"] == "gauge"
+
+
+class TestPolicyCommand:
+    def test_show_dumps_ir_and_diagnostics(self, capsys):
+        assert main(["policy", "show"]) == 0
+        out = capsys.readouterr().out
+        assert "FILTER" in out and "signature" in out
+        assert "opt.fuse" in out  # demo spec has fusable filters
+
+    def test_verify_reports_ok(self, capsys):
+        assert main(["policy", "verify"]) == 0
+        assert "no errors" in capsys.readouterr().out
+
+    def test_spec_file_round_trip(self, capsys, tmp_path):
+        import json
+
+        spec_file = tmp_path / "svc.json"
+        spec_file.write_text(json.dumps({
+            "name": "svc",
+            "rules": [
+                {"action": "drop", "proto": "udp", "dport_not_in": [53]},
+                {"action": "blacklist", "prefixes": ["203.0.113.0/24"]},
+            ]}))
+        assert main(["policy", "show", "--spec", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        assert "svc@AS0" in out and "BLACKLIST" in out
+
+    def test_bad_spec_file_is_an_error(self, capsys, tmp_path):
+        import json
+
+        spec_file = tmp_path / "bad.json"
+        spec_file.write_text(json.dumps(
+            {"name": "bad", "rules": [{"action": "teleport"}]}))
+        assert main(["policy", "verify", "--spec", str(spec_file)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_reports_ratio(self, capsys):
+        assert main(["policy", "bench", "--batch", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "interpreted walk" in out and "compiled batch" in out
 
 
 class TestMetricsOut:

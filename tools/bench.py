@@ -67,6 +67,11 @@ _SKETCH_NAME = re.compile(r"^(?P<base>test_sketch_\w+)\[(?P<batch>\d+)\]$")
 #: simulator's forwarding path.
 _SERVICE_NAME = re.compile(r"^(?P<base>test_service_\w+)$")
 
+#: Policy-compiler benchmarks publish ``bench.policy.<field>`` gauges
+#: labelled (benchmark, batch), keeping the interpreted-walk vs
+#: compiled-batch axis separable from the raw forwarding path.
+_POLICY_NAME = re.compile(r"^(?P<base>test_policy_\w+)\[(?P<batch>\d+)\]$")
+
 #: The scalar/batched pair the perf-smoke ratio compares, with the
 #: packets each moves per round (the scalar benchmark sends 500 packets;
 #: the batch one sends its batch size).
@@ -82,6 +87,12 @@ SKETCH_BATCH_BENCH = ("test_sketch_batch_update", 1024)
 #: checks (fast path) vs 256 owned-flow checks (full pipeline).
 SERVICE_FAST_BENCH = ("test_service_check_fastpath", 256)
 SERVICE_PIPELINE_BENCH = ("test_service_check_pipeline", 256)
+
+#: The policy pair the perf-smoke ratio compares: the interpreted
+#: component-graph walk vs one compiled vectorized batch program, both
+#: over 1024 packets of a HeaderFilter -> PrefixBlacklist graph.
+POLICY_INTERP_BENCH = ("test_policy_interpreted_walk", 1024)
+POLICY_COMPILED_BENCH = ("test_policy_compiled_batch", 1024)
 
 
 def run_benchmarks(pytest_args: list[str]) -> dict:
@@ -109,8 +120,15 @@ def to_registry(raw: dict) -> MetricRegistry:
         batched = _BATCH_NAME.match(bench["name"])
         sketched = _SKETCH_NAME.match(bench["name"])
         serviced = _SERVICE_NAME.match(bench["name"])
+        policied = _POLICY_NAME.match(bench["name"])
         for field, source in BENCH_FIELDS.items():
-            if serviced:
+            if policied:
+                registry.gauge(f"bench.policy.{field}",
+                               help=f"pytest-benchmark {field} per policy "
+                                    "execution mode and batch size",
+                               benchmark=policied["base"],
+                               batch=policied["batch"]).set(stats[source])
+            elif serviced:
                 registry.gauge(f"bench.service.{field}",
                                help=f"pytest-benchmark {field} per live "
                                     "service-check benchmark",
@@ -141,7 +159,8 @@ def normalize(raw: dict) -> dict:
         if name.startswith("bench.service."):
             field = name.split(".", 2)[2]
             key = labels["benchmark"]
-        elif name.startswith(("bench.batch.", "bench.sketch.")):
+        elif name.startswith(("bench.batch.", "bench.sketch.",
+                              "bench.policy.")):
             field = name.split(".", 2)[2]
             key = f"{labels['benchmark']}[{labels['batch']}]"
         else:
@@ -168,6 +187,8 @@ def schema_of(normalized: dict) -> dict:
         metrics += [f"bench.sketch.{field}" for field in sorted(BENCH_FIELDS)]
     if any(_SERVICE_NAME.match(name) for name in names):
         metrics += [f"bench.service.{field}" for field in sorted(BENCH_FIELDS)]
+    if any(_POLICY_NAME.match(name) for name in names):
+        metrics += [f"bench.policy.{field}" for field in sorted(BENCH_FIELDS)]
     return {
         "metrics": sorted(metrics),
         "benchmarks": sorted(normalized["benchmarks"]),
@@ -218,6 +239,21 @@ def service_ratio(normalized: dict) -> float | None:
         return None
     return ((pipe["median_s"] / pipe_checks)
             / (fast["median_s"] / fast_checks))
+
+
+def policy_ratio(normalized: dict) -> float | None:
+    """Interpreted-walk vs compiled-batch per-packet ratio (>1 = the
+    compiled vectorized program wins).  ``None`` when either benchmark is
+    absent from the snapshot."""
+    interp_name, interp_packets = POLICY_INTERP_BENCH
+    compiled_base, compiled_batch = POLICY_COMPILED_BENCH
+    benches = normalized["benchmarks"]
+    interp = benches.get(f"{interp_name}[{interp_packets}]")
+    compiled = benches.get(f"{compiled_base}[{compiled_batch}]")
+    if not interp or not compiled:
+        return None
+    return ((interp["median_s"] / interp_packets)
+            / (compiled["median_s"] / compiled_batch))
 
 
 def check_schema(normalized: dict, schema_path: Path) -> list[str]:
@@ -289,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail unless the live facade's unowned fast "
                              "path is at least MIN times cheaper per check "
                              "than the owned-flow pipeline")
+    parser.add_argument("--check-policy-ratio", type=float, metavar="MIN",
+                        help="fail unless the compiled vectorized batch "
+                             "program is at least MIN times faster per "
+                             "packet than the interpreted graph walk")
     parser.add_argument("pytest_args", nargs="*",
                         help="extra arguments forwarded to pytest (prefix "
                              "with -- to separate)")
@@ -359,6 +399,20 @@ def main(argv: list[str] | None = None) -> int:
             print(f"service ratio: {ratio:.2f} below floor "
                   f"{args.check_service_ratio:g} — live check fast path "
                   "regressed", file=sys.stderr)
+            return 1
+    if args.check_policy_ratio is not None:
+        ratio = policy_ratio(normalized)
+        if ratio is None:
+            print("policy ratio: interpreted or compiled policy benchmark "
+                  "missing from this run", file=sys.stderr)
+            return 1
+        print(f"policy ratio: the compiled batch program is {ratio:.1f}x the "
+              f"interpreted per-packet rate (floor "
+              f"{args.check_policy_ratio:g}x)")
+        if ratio < args.check_policy_ratio:
+            print(f"policy ratio: {ratio:.2f} below floor "
+                  f"{args.check_policy_ratio:g} — vectorized policy "
+                  "programs regressed", file=sys.stderr)
             return 1
     if args.compare:
         with open(args.compare) as fh:
